@@ -1,0 +1,240 @@
+package cloudlb
+
+// One benchmark per paper artifact (figures 1-4) plus the ablation
+// benches called out in DESIGN.md. Each benchmark runs a reduced-scale
+// version of the corresponding experiment and reports the headline
+// quantities as custom metrics, so `go test -bench=.` both exercises the
+// full pipeline and prints the reproduced shape. Full-scale tables come
+// from `go run ./cmd/figures`.
+
+import (
+	"testing"
+
+	"cloudlb/internal/apps"
+	"cloudlb/internal/charm"
+	"cloudlb/internal/core"
+	"cloudlb/internal/experiment"
+	"cloudlb/internal/interfere"
+	"cloudlb/internal/lb"
+	"cloudlb/internal/machine"
+	"cloudlb/internal/sim"
+	"cloudlb/internal/trace"
+	"cloudlb/internal/xnet"
+)
+
+// benchScale keeps each iteration under ~a second while leaving enough
+// LB periods for the balancer to converge.
+const benchScale = 0.15
+
+var benchSeeds = []int64{1}
+
+func reportEval(b *testing.B, evals []experiment.Eval) {
+	b.Helper()
+	last := evals[len(evals)-1]
+	b.ReportMetric(last.PenAppNoLB, "noLB_penalty_%")
+	b.ReportMetric(last.PenAppLB, "LB_penalty_%")
+	b.ReportMetric(float64(last.MigrationsLB), "migrations")
+}
+
+// BenchmarkFig2Jacobi2D regenerates Figure 2(a): Jacobi2D timing penalty
+// with and without RefineLB under a 2-core interfering Wave2D job.
+func BenchmarkFig2Jacobi2D(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		evals := experiment.Evaluate(experiment.Jacobi2D, []int{4, 8}, benchSeeds, benchScale)
+		if i == b.N-1 {
+			reportEval(b, evals)
+		}
+	}
+}
+
+// BenchmarkFig2Wave2D regenerates Figure 2(b).
+func BenchmarkFig2Wave2D(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		evals := experiment.Evaluate(experiment.Wave2D, []int{4, 8}, benchSeeds, benchScale)
+		if i == b.N-1 {
+			reportEval(b, evals)
+		}
+	}
+}
+
+// BenchmarkFig2Mol3D regenerates Figure 2(c): the internally imbalanced
+// MD code under a background job the OS prefers 4:1.
+func BenchmarkFig2Mol3D(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		// Mol3D needs a few more LB periods than the stencils to
+		// converge under the 4x-preferred background job.
+		evals := experiment.Evaluate(experiment.Mol3D, []int{4, 8}, benchSeeds, 0.4)
+		if i == b.N-1 {
+			reportEval(b, evals)
+		}
+	}
+}
+
+// BenchmarkFig4Energy regenerates Figure 4's quantities (average power
+// and normalized energy overhead) for Wave2D.
+func BenchmarkFig4Energy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		evals := experiment.Evaluate(experiment.Wave2D, []int{8}, benchSeeds, benchScale)
+		if i == b.N-1 {
+			e := evals[0]
+			b.ReportMetric(e.PowerNoLB, "noLB_W")
+			b.ReportMetric(e.PowerLB, "LB_W")
+			b.ReportMetric(e.EnergyOvhNoLB, "noLB_energy_ovh_%")
+			b.ReportMetric(e.EnergyOvhLB, "LB_energy_ovh_%")
+		}
+	}
+}
+
+// BenchmarkFig1Timeline regenerates Figure 1: a 1-core job landing
+// mid-run on one core of a 4-core Wave2D run without load balancing.
+func BenchmarkFig1Timeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiment.Fig1(benchScale)
+		if i == b.N-1 {
+			after := res.Trace.BusyFraction(3, trace.KindBackground, res.HogStart, res.AppFinish)
+			b.ReportMetric(after*100, "bg_share_after_%")
+		}
+	}
+}
+
+// BenchmarkFig3Adaptation regenerates Figure 3: RefineLB adapting as
+// interference moves between cores.
+func BenchmarkFig3Adaptation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiment.Fig3(0.5)
+		if i == b.N-1 {
+			b.ReportMetric(float64(res.Migrations), "migrations")
+		}
+	}
+}
+
+// ablationWorld builds a 4-core run whose internal imbalance leaves the
+// hogged core lightly loaded: PE 3's chares cost 30% of the others, and a
+// CPU hog occupies core 3. A background-blind balancer mistakes core 3
+// for spare capacity and ships work into the interference; the paper's
+// O_p term (Eq. 2) prevents exactly that.
+func ablationRun(b *testing.B, strategy core.Strategy) float64 {
+	b.Helper()
+	eng := sim.NewEngine()
+	mach := machine.New(eng, machine.Config{Nodes: 1, CoresPerNode: 4, CoreSpeed: 1})
+	net := xnet.New(mach, xnet.DefaultConfig())
+	rts := charm.NewRTS(charm.Config{
+		Machine: mach, Net: net, Cores: []int{0, 1, 2, 3},
+		Strategy: strategy, Name: "abl",
+	})
+	apps.NewStencilApp(rts, apps.StencilConfig{
+		Array: "wave", GridW: 256, GridH: 128, CharesX: 16, CharesY: 8,
+		Iters: 80, SyncEvery: 10, CostPerCell: 3e-6,
+		CostScale: func(i int) float64 {
+			// Blocks whose home PE is 3 (block placement: last quarter
+			// of indices) are cheap.
+			if i >= 96 {
+				return 0.3
+			}
+			return 1
+		},
+		NewKernel: apps.NewWaveKernel(256, 128, 0.4),
+	})
+	interfere.StartHog(mach, interfere.HogConfig{Core: 3, Start: 0})
+	rts.Start()
+	for !rts.Finished() && eng.Now() < 1000 {
+		if err := eng.RunUntil(eng.Now() + 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return float64(rts.FinishTime())
+}
+
+// BenchmarkAblationBackgroundTerm (DESIGN.md A1): RefineLB versus the
+// same refinement with the background-load term O_p removed.
+func BenchmarkAblationBackgroundTerm(b *testing.B) {
+	var aware, blind float64
+	for i := 0; i < b.N; i++ {
+		aware = ablationRun(b, &core.RefineLB{EpsilonFrac: 0.02})
+		blind = ablationRun(b, &lb.RefineInternalLB{Inner: core.RefineLB{EpsilonFrac: 0.02}})
+	}
+	b.ReportMetric(aware, "aware_wall_s")
+	b.ReportMetric(blind, "blind_wall_s")
+}
+
+// BenchmarkAblationRefineVsGreedy (DESIGN.md A2): migration counts and
+// wall time of refinement versus from-scratch greedy reassignment.
+func BenchmarkAblationRefineVsGreedy(b *testing.B) {
+	var refineMigs, greedyMigs, refineWall, greedyWall float64
+	for i := 0; i < b.N; i++ {
+		r := experiment.Run(experiment.Scenario{
+			App: experiment.Wave2D, Cores: 4, Strategy: experiment.Refine,
+			BG: experiment.BGWave2D, Seed: 1, Scale: benchScale,
+		})
+		g := experiment.Run(experiment.Scenario{
+			App: experiment.Wave2D, Cores: 4, Strategy: experiment.Greedy,
+			BG: experiment.BGWave2D, Seed: 1, Scale: benchScale,
+		})
+		refineMigs, greedyMigs = float64(r.Migrations), float64(g.Migrations)
+		refineWall, greedyWall = r.AppWall, g.AppWall
+	}
+	b.ReportMetric(refineMigs, "refine_migrations")
+	b.ReportMetric(greedyMigs, "greedy_migrations")
+	b.ReportMetric(refineWall, "refine_wall_s")
+	b.ReportMetric(greedyWall, "greedy_wall_s")
+}
+
+// BenchmarkSweepRefineParams quantifies the sensitivity of RefineLB's
+// design parameters (epsilon tolerance and LB period) called out in
+// DESIGN.md.
+func BenchmarkSweepRefineParams(b *testing.B) {
+	var points []experiment.SweepPoint
+	for i := 0; i < b.N; i++ {
+		points = experiment.SweepRefineParams(experiment.Wave2D, 4,
+			[]float64{0.02, 0.1}, []int{10, 40}, 1, benchScale)
+	}
+	for _, p := range points {
+		if p.EpsilonFrac == 0.02 && p.SyncEvery == 10 {
+			b.ReportMetric(p.PenaltyPct, "eps02_p10_penalty_%")
+		}
+		if p.EpsilonFrac == 0.1 && p.SyncEvery == 40 {
+			b.ReportMetric(p.PenaltyPct, "eps10_p40_penalty_%")
+		}
+	}
+}
+
+// BenchmarkExtensionCloudChurn (paper §VI future work): tenant VMs
+// arriving and departing across every application core, RefineLB versus
+// noLB.
+func BenchmarkExtensionCloudChurn(b *testing.B) {
+	var no, lbw float64
+	var migs int
+	for i := 0; i < b.N; i++ {
+		n := experiment.Run(experiment.Scenario{
+			App: experiment.Wave2D, Cores: 8, Strategy: experiment.NoLB,
+			BG: experiment.BGCloudChurn, Seed: 1, Scale: 0.5,
+		})
+		l := experiment.Run(experiment.Scenario{
+			App: experiment.Wave2D, Cores: 8, Strategy: experiment.Refine,
+			BG: experiment.BGCloudChurn, Seed: 1, Scale: 0.5,
+		})
+		no, lbw, migs = n.AppWall, l.AppWall, l.Migrations
+	}
+	b.ReportMetric(no, "noLB_wall_s")
+	b.ReportMetric(lbw, "LB_wall_s")
+	b.ReportMetric(float64(migs), "migrations")
+}
+
+// BenchmarkAblationMigrationCost (DESIGN.md A3, the paper's future-work
+// variant): the cost-gated balancer versus always-migrate refinement.
+func BenchmarkAblationMigrationCost(b *testing.B) {
+	var refine, gated float64
+	for i := 0; i < b.N; i++ {
+		r := experiment.Run(experiment.Scenario{
+			App: experiment.Wave2D, Cores: 4, Strategy: experiment.Refine,
+			BG: experiment.BGWave2D, Seed: 1, Scale: benchScale,
+		})
+		c := experiment.Run(experiment.Scenario{
+			App: experiment.Wave2D, Cores: 4, Strategy: experiment.CostAware,
+			BG: experiment.BGWave2D, Seed: 1, Scale: benchScale,
+		})
+		refine, gated = r.AppWall, c.AppWall
+	}
+	b.ReportMetric(refine, "refine_wall_s")
+	b.ReportMetric(gated, "costaware_wall_s")
+}

@@ -1,0 +1,266 @@
+// Command figures regenerates the data behind every figure of the paper
+// "Cloud Friendly Load Balancing for HPC Applications: Preliminary Work"
+// (ICPP 2012): ASCII timelines for Figures 1 and 3, and penalty /
+// power / energy tables for Figures 2 and 4.
+//
+// Usage:
+//
+//	figures -fig all
+//	figures -fig 2b -cores 4,8,16,32 -seeds 3 -scale 1.0
+//	figures -fig 3 -svg fig3.svg
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"cloudlb/internal/experiment"
+	"cloudlb/internal/plot"
+	"cloudlb/internal/sim"
+)
+
+// fig2Chart builds the grouped-bar version of a Figure 2 panel.
+func fig2Chart(kind experiment.AppKind, evals []experiment.Eval) plot.BarChart {
+	c := plot.BarChart{
+		Title:  fmt.Sprintf("Figure 2: timing penalty, %s", kind),
+		YLabel: "timing penalty %",
+	}
+	var noLB, lb, bgNo, bgLB []float64
+	for _, e := range evals {
+		c.Categories = append(c.Categories, strconv.Itoa(e.Cores))
+		noLB = append(noLB, e.PenAppNoLB)
+		lb = append(lb, e.PenAppLB)
+		bgNo = append(bgNo, e.PenBGNoLB)
+		bgLB = append(bgLB, e.PenBGLB)
+	}
+	c.Series = []plot.Series{
+		{Name: "noLB", Values: noLB},
+		{Name: "LB", Values: lb},
+		{Name: "BG noLB", Values: bgNo},
+		{Name: "BG LB", Values: bgLB},
+	}
+	return c
+}
+
+// fig4Chart builds the grouped-bar version of a Figure 4 panel.
+func fig4Chart(kind experiment.AppKind, evals []experiment.Eval) plot.BarChart {
+	c := plot.BarChart{
+		Title:  fmt.Sprintf("Figure 4: power (W) and energy overhead (%%), %s", kind),
+		YLabel: "W / %",
+	}
+	var pNo, pLB, eNo, eLB []float64
+	for _, e := range evals {
+		c.Categories = append(c.Categories, strconv.Itoa(e.Cores))
+		pNo = append(pNo, e.PowerNoLB)
+		pLB = append(pLB, e.PowerLB)
+		eNo = append(eNo, e.EnergyOvhNoLB)
+		eLB = append(eLB, e.EnergyOvhLB)
+	}
+	c.Series = []plot.Series{
+		{Name: "noLB power", Values: pNo},
+		{Name: "LB power", Values: pLB},
+		{Name: "noLB energy ovh", Values: eNo},
+		{Name: "LB energy ovh", Values: eLB},
+	}
+	return c
+}
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 2a, 2b, 2c, 3, 4a, 4b, 4c, sweep, compare, all")
+	scale := flag.Float64("scale", 1.0, "iteration-count scale factor (smaller = faster)")
+	seedN := flag.Int("seeds", 3, "number of seeds to average over (the paper uses 3 runs)")
+	coresFlag := flag.String("cores", "4,8,16,32", "comma-separated core counts")
+	svgPath := flag.String("svg", "", "also write an SVG timeline (figures 1 and 3)")
+	csvDir := flag.String("csv", "", "also write per-panel CSV files (figures 2 and 4) into this directory")
+	plotDir := flag.String("plots", "", "also write per-panel SVG bar charts (figures 2 and 4) into this directory")
+	width := flag.Int("width", 100, "ASCII timeline width")
+	flag.Parse()
+
+	cores, err := parseCores(*coresFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(2)
+	}
+	seeds := make([]int64, *seedN)
+	for i := range seeds {
+		seeds[i] = int64(i + 1)
+	}
+
+	apps := map[string]experiment.AppKind{
+		"a": experiment.Jacobi2D,
+		"b": experiment.Wave2D,
+		"c": experiment.Mol3D,
+	}
+
+	run := func(f string) {
+		switch {
+		case f == "1":
+			fig1(*scale, *width, *svgPath)
+		case f == "3":
+			fig3(*scale, *width, *svgPath)
+		case f == "compare":
+			fmt.Println("Strategy comparison (Wave2D, 8 cores, interfered):")
+			results := experiment.CompareStrategies(experiment.Wave2D, 8,
+				[]experiment.StrategyKind{experiment.NoLB, experiment.Refine, experiment.RefineInternal,
+					experiment.RefineSwap, experiment.Greedy, experiment.Threshold, experiment.CostAware},
+				1, *scale)
+			experiment.CompareTable(results).Write(os.Stdout)
+			fmt.Println()
+		case f == "sweep":
+			fmt.Println("Sensitivity of RefineLB's design parameters (Wave2D, 8 cores):")
+			points := experiment.SweepRefineParams(experiment.Wave2D, 8,
+				[]float64{0.01, 0.02, 0.05, 0.1}, []int{5, 10, 20, 40}, 1, *scale)
+			experiment.SweepTable(points).Write(os.Stdout)
+			fmt.Println()
+		case strings.HasPrefix(f, "2") || strings.HasPrefix(f, "4"):
+			suffix := strings.TrimLeft(f, "24")
+			var kinds []experiment.AppKind
+			if suffix == "" {
+				kinds = []experiment.AppKind{experiment.Jacobi2D, experiment.Wave2D, experiment.Mol3D}
+			} else if k, ok := apps[suffix]; ok {
+				kinds = []experiment.AppKind{k}
+			} else {
+				fmt.Fprintf(os.Stderr, "figures: unknown figure %q\n", f)
+				os.Exit(2)
+			}
+			for _, kind := range kinds {
+				evals := experiment.Evaluate(kind, cores, seeds, *scale)
+				var tab interface {
+					Write(io.Writer)
+					WriteCSV(io.Writer) error
+				}
+				if strings.HasPrefix(f, "2") {
+					fmt.Printf("Figure 2 (%s): timing penalty vs cores\n", kind)
+					tab = experiment.Fig2Table(kind, evals)
+				} else {
+					fmt.Printf("Figure 4 (%s): power and normalized energy overhead\n", kind)
+					tab = experiment.Fig4Table(kind, evals)
+				}
+				tab.Write(os.Stdout)
+				if *plotDir != "" {
+					name := fmt.Sprintf("fig%c_%s.svg", f[0], strings.ToLower(kind.String()))
+					path := filepath.Join(*plotDir, name)
+					out, err := os.Create(path)
+					if err != nil {
+						fmt.Fprintln(os.Stderr, "figures:", err)
+						os.Exit(1)
+					}
+					var chart plot.BarChart
+					if strings.HasPrefix(f, "2") {
+						chart = fig2Chart(kind, evals)
+					} else {
+						chart = fig4Chart(kind, evals)
+					}
+					if err := chart.Render(out); err != nil {
+						fmt.Fprintln(os.Stderr, "figures:", err)
+						os.Exit(1)
+					}
+					out.Close()
+					fmt.Printf("wrote %s\n", path)
+				}
+				if *csvDir != "" {
+					name := fmt.Sprintf("fig%c_%s.csv", f[0], strings.ToLower(kind.String()))
+					path := filepath.Join(*csvDir, name)
+					out, err := os.Create(path)
+					if err != nil {
+						fmt.Fprintln(os.Stderr, "figures:", err)
+						os.Exit(1)
+					}
+					if err := tab.WriteCSV(out); err != nil {
+						fmt.Fprintln(os.Stderr, "figures:", err)
+						os.Exit(1)
+					}
+					out.Close()
+					fmt.Printf("wrote %s\n", path)
+				}
+				fmt.Println()
+			}
+		default:
+			fmt.Fprintf(os.Stderr, "figures: unknown figure %q\n", f)
+			os.Exit(2)
+		}
+	}
+
+	if *fig == "all" {
+		for _, f := range []string{"1", "2a", "2b", "2c", "3", "4a", "4b", "4c", "sweep", "compare"} {
+			run(f)
+		}
+		return
+	}
+	run(*fig)
+}
+
+func parseCores(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad core count %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fig1(scale float64, width int, svgPath string) {
+	res := experiment.Fig1(scale)
+	fmt.Println("Figure 1: background task disturbing load balance (Wave2D, 4 cores, no LB)")
+	fmt.Printf("1-core background job starts at t=%.3fs on core 3; run finishes at t=%.3fs\n",
+		float64(res.HogStart), float64(res.AppFinish))
+	// Window (a): before interference. Window (b): after.
+	span := (res.AppFinish - res.HogStart) / 4
+	fmt.Println("\n(a) no BG task:")
+	res.Trace.RenderASCII(os.Stdout, res.Cores, res.HogStart-span, res.HogStart, width)
+	fmt.Println("\n(b) core 3 overloaded:")
+	res.Trace.RenderASCII(os.Stdout, res.Cores, res.HogStart, res.HogStart+span, width)
+	writeSVG(svgPath, func(f *os.File) {
+		res.Trace.RenderSVG(f, res.Cores, 0, res.AppFinish, 1000)
+	})
+	fmt.Println()
+}
+
+func fig3(scale float64, width int, svgPath string) {
+	res := experiment.Fig3(scale)
+	fmt.Println("Figure 3: load balancer adapting to dynamic interference (Wave2D, 4 cores, RefineLB)")
+	fmt.Printf("BG on core 1: %.2f-%.2fs; BG on core 3: %.2f-%.2fs; finish %.2fs; %d migrations\n",
+		float64(res.Hog1Start), float64(res.Hog1Stop),
+		float64(res.Hog2Start), float64(res.Hog2Stop),
+		float64(res.AppFinish), res.Migrations)
+	phases := []struct {
+		label    string
+		from, to sim.Time
+	}{
+		{"(a) core 1 overloaded", res.Hog1Start, res.Hog1Start + (res.Hog1Stop-res.Hog1Start)/3},
+		{"(b) load balanced", res.Hog1Stop - (res.Hog1Stop-res.Hog1Start)/3, res.Hog1Stop},
+		{"(c) no BG task", res.Hog1Stop + (res.Hog2Start-res.Hog1Stop)/4, res.Hog2Start - (res.Hog2Start-res.Hog1Stop)/4},
+		{"(d) core 3 overloaded", res.Hog2Start, res.Hog2Start + (res.Hog2Stop-res.Hog2Start)/3},
+		{"(e) load balanced", res.Hog2Stop - (res.Hog2Stop-res.Hog2Start)/3, res.Hog2Stop},
+	}
+	for _, p := range phases {
+		fmt.Println("\n" + p.label + ":")
+		res.Trace.RenderASCII(os.Stdout, res.Cores, p.from, p.to, width)
+	}
+	writeSVG(svgPath, func(f *os.File) {
+		res.Trace.RenderSVG(f, res.Cores, 0, res.AppFinish, 1200)
+	})
+	fmt.Println()
+}
+
+func writeSVG(path string, render func(*os.File)) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	render(f)
+	fmt.Printf("wrote %s\n", path)
+}

@@ -1,0 +1,110 @@
+// Command lbsim runs a single load balancing scenario on the simulated
+// testbed and prints its measurements: wall time, background-job wall
+// time, power, energy, migrations and LB steps.
+//
+// Usage:
+//
+//	lbsim -app wave2d -cores 8 -strategy refine -bg -seed 1
+//	lbsim -app mol3d -cores 16 -strategy greedy -bg -bgweight 4
+//	lbsim -app jacobi2d -cores 4 -strategy none
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+
+	"cloudlb/internal/experiment"
+	"cloudlb/internal/trace"
+)
+
+func main() {
+	app := flag.String("app", "wave2d", "application: jacobi2d, wave2d, mol3d")
+	cores := flag.Int("cores", 8, "cores to run on (multiple of 4, up to 32)")
+	strategy := flag.String("strategy", "refine", "load balancer: none, refine, refineinternal, refineswap, greedy, threshold, costaware")
+	bg := flag.Bool("bg", false, "run the 2-core Wave2D background job on the last two cores")
+	churn := flag.Bool("churn", false, "multi-tenant churn interference across all cores (instead of -bg)")
+	bgWeight := flag.Float64("bgweight", 1, "OS scheduling weight of the background job")
+	bgIters := flag.Int("bgiters", 0, "background job iterations (0 = default)")
+	seed := flag.Int64("seed", 1, "random seed (cost jitter, particle layout, BG start offset)")
+	scale := flag.Float64("scale", 1.0, "iteration-count scale factor")
+	chromePath := flag.String("chrome", "", "write a Chrome trace-event JSON of the run to this path")
+	hier := flag.Bool("hier", false, "use the hierarchical (tree) LB gather instead of the flat gather")
+	flag.Parse()
+
+	appKind, ok := map[string]experiment.AppKind{
+		"jacobi2d": experiment.Jacobi2D,
+		"wave2d":   experiment.Wave2D,
+		"mol3d":    experiment.Mol3D,
+	}[strings.ToLower(*app)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "lbsim: unknown app %q\n", *app)
+		os.Exit(2)
+	}
+	stratKind, ok := map[string]experiment.StrategyKind{
+		"none":           experiment.NoLB,
+		"nolb":           experiment.NoLB,
+		"refine":         experiment.Refine,
+		"refineinternal": experiment.RefineInternal,
+		"refineswap":     experiment.RefineSwap,
+		"greedy":         experiment.Greedy,
+		"threshold":      experiment.Threshold,
+		"costaware":      experiment.CostAware,
+	}[strings.ToLower(*strategy)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "lbsim: unknown strategy %q\n", *strategy)
+		os.Exit(2)
+	}
+
+	s := experiment.Scenario{
+		App:          appKind,
+		Cores:        *cores,
+		Strategy:     stratKind,
+		Seed:         *seed,
+		BGWeight:     *bgWeight,
+		BGIters:      *bgIters,
+		Scale:        *scale,
+		Hierarchical: *hier,
+	}
+	var rec *trace.Recorder
+	if *chromePath != "" {
+		rec = trace.NewRecorder()
+		s.Trace = rec
+	}
+	switch {
+	case *bg && *churn:
+		fmt.Fprintln(os.Stderr, "lbsim: -bg and -churn are mutually exclusive")
+		os.Exit(2)
+	case *bg:
+		s.BG = experiment.BGWave2D
+	case *churn:
+		s.BG = experiment.BGCloudChurn
+	}
+	res := experiment.Run(s)
+
+	fmt.Printf("app:            %v on %d cores, strategy %v, seed %d\n", appKind, *cores, stratKind, *seed)
+	fmt.Printf("wall time:      %.3f s\n", res.AppWall)
+	if !math.IsNaN(res.BGWall) {
+		fmt.Printf("bg wall time:   %.3f s (weight %.1f)\n", res.BGWall, *bgWeight)
+	}
+	fmt.Printf("avg power:      %.1f W over the application's nodes\n", res.AvgPowerW)
+	fmt.Printf("energy:         %.1f J\n", res.EnergyJ)
+	fmt.Printf("LB steps:       %d\n", res.LBSteps)
+	fmt.Printf("migrations:     %d\n", res.Migrations)
+
+	if *chromePath != "" {
+		f, err := os.Create(*chromePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lbsim:", err)
+			os.Exit(1)
+		}
+		if err := rec.WriteChromeTrace(f); err != nil {
+			fmt.Fprintln(os.Stderr, "lbsim:", err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Printf("trace:          %s\n", *chromePath)
+	}
+}

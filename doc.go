@@ -1,0 +1,28 @@
+// Package cloudlb reproduces "Cloud Friendly Load Balancing for HPC
+// Applications: Preliminary Work" (Sarood, Gupta, Kalé; ICPP 2012
+// workshops): an interference-aware refinement load balancer for
+// migratable-object runtimes, evaluated on a simulated multi-tenant
+// cluster.
+//
+// The package tree:
+//
+//	internal/core        the paper's Algorithm 1 (RefineLB) and the
+//	                     strategy interface
+//	internal/lb          baseline and ablation strategies
+//	internal/charm       Charm++-style migratable-object runtime
+//	internal/machine     simulated nodes/cores with a proportional-share
+//	                     OS scheduler and /proc/stat accounting
+//	internal/xnet        interconnect model
+//	internal/power       node power model and per-second energy meter
+//	internal/apps        Jacobi2D, Wave2D, Mol3D
+//	internal/ampi        Adaptive-MPI-style ranks over the runtime
+//	internal/interfere   interfering jobs (hogs, 2-core Wave2D, churn)
+//	internal/trace       timeline recording (ASCII/SVG/Chrome trace)
+//	internal/projections Projections-style analysis (profiles, imbalance)
+//	internal/plot        SVG bar charts for regenerated figures
+//	internal/experiment  the paper's full evaluation harness
+//	internal/stats       penalties, energy overheads, tables
+//
+// The benchmarks in bench_test.go regenerate the data behind every
+// figure of the paper; see EXPERIMENTS.md for measured-vs-paper results.
+package cloudlb

@@ -1,0 +1,3 @@
+module cloudlb
+
+go 1.22

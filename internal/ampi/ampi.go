@@ -1,0 +1,256 @@
+// Package ampi provides an Adaptive-MPI-style programming model over the
+// charm runtime: SPMD programs written against blocking Send/Recv,
+// Barrier and AllReduce, where each rank is a migratable user-level
+// thread (here: a goroutine coupled to a chare by strict handoff). Ranks
+// periodically call MigrateSync, the AMPI equivalent of AtSync, letting
+// the runtime's load balancer move them between cores — this is how the
+// paper's scheme serves existing MPI applications.
+//
+// Concurrency model: exactly one goroutine runs at any instant. The
+// simulation thread resumes a rank and blocks until the rank yields
+// (blocking call or completion), so programs execute deterministically.
+package ampi
+
+import (
+	"fmt"
+
+	"cloudlb/internal/charm"
+)
+
+// Program is the SPMD body executed by every rank.
+type Program func(r *Rank)
+
+// World is a set of AMPI ranks registered on a runtime.
+type World struct {
+	name  string
+	size  int
+	rts   *charm.RTS
+	ranks []*rankChare
+}
+
+// New registers n ranks running prog on the runtime. Call before
+// rts.Start.
+func New(rts *charm.RTS, name string, n int, prog Program) *World {
+	if n <= 0 {
+		panic("ampi: world size must be positive")
+	}
+	w := &World{name: name, size: n, rts: rts, ranks: make([]*rankChare, n)}
+	rts.NewArray(name, n, func(i int) charm.Chare {
+		rc := &rankChare{
+			world:   w,
+			rank:    i,
+			prog:    prog,
+			resume:  make(chan resumeMsg),
+			yielded: make(chan yieldMsg),
+			pending: make(map[int][]interface{}),
+		}
+		w.ranks[i] = rc
+		return rc
+	})
+	return w
+}
+
+// Rank is the handle a Program uses for communication and accounting.
+type Rank struct{ rc *rankChare }
+
+// Rank returns this rank's index.
+func (r *Rank) Rank() int { return r.rc.rank }
+
+// Size returns the world size.
+func (r *Rank) Size() int { return r.rc.world.size }
+
+// Charge accounts cpuSeconds of computation to the rank; the simulated
+// core is occupied for (at least) that long.
+func (r *Rank) Charge(cpuSeconds float64) {
+	if cpuSeconds < 0 {
+		panic("ampi: negative charge")
+	}
+	r.rc.charged += cpuSeconds
+}
+
+// Send transmits data to another rank. It is buffered (eager): the call
+// does not block.
+func (r *Rank) Send(to int, data interface{}, bytes int) {
+	if to < 0 || to >= r.rc.world.size {
+		panic(fmt.Sprintf("ampi: send to invalid rank %d", to))
+	}
+	rc := r.rc
+	rc.ctx.Send(charm.ChareID{Array: rc.world.name, Index: to},
+		rankMsg{From: rc.rank, Data: data}, bytes+16)
+}
+
+// Recv blocks until a message from the given rank arrives and returns its
+// payload. Messages from the same sender are delivered in order.
+func (r *Rank) Recv(from int) interface{} {
+	rc := r.rc
+	if q := rc.pending[from]; len(q) > 0 {
+		rc.pending[from] = q[1:]
+		return q[0]
+	}
+	res := rc.yieldFor(yieldMsg{kind: yRecv, from: from})
+	return res.data
+}
+
+// Barrier blocks until every rank has entered it.
+func (r *Rank) Barrier() {
+	r.AllReduce(0, charm.ReduceSum)
+}
+
+// AllReduce combines value across all ranks and returns the result to
+// every rank. All ranks must call it in the same order.
+func (r *Rank) AllReduce(value float64, op charm.ReduceOp) float64 {
+	rc := r.rc
+	rc.redSeq++
+	tag := fmt.Sprintf("ampi-red-%d", rc.redSeq)
+	rc.ctx.Contribute(tag, value, op)
+	res := rc.yieldFor(yieldMsg{kind: yReduce, tag: tag})
+	return res.value
+}
+
+// MigrateSync marks a load balancing point: the runtime may migrate this
+// rank to another core before the call returns (AMPI's MPI_Migrate).
+func (r *Rank) MigrateSync() {
+	rc := r.rc
+	rc.ctx.AtSync()
+	rc.yieldFor(yieldMsg{kind: ySync})
+}
+
+// PE reports the PE currently executing this rank (for tests).
+func (r *Rank) PE() int { return r.rc.ctx.PE() }
+
+type rankMsg struct {
+	From int
+	Data interface{}
+}
+
+type yieldKind int
+
+const (
+	yRecv yieldKind = iota
+	yRecvAny
+	yReduce
+	ySync
+	yDone
+)
+
+type yieldMsg struct {
+	kind yieldKind
+	from int    // yRecv
+	tag  string // yReduce
+}
+
+type resumeMsg struct {
+	data  interface{} // for yRecv
+	value float64     // for yReduce
+}
+
+// rankChare is the chare side of a rank: it bridges runtime deliveries to
+// the rank goroutine with strict handoff.
+type rankChare struct {
+	world *World
+	rank  int
+	prog  Program
+
+	resume  chan resumeMsg
+	yielded chan yieldMsg
+
+	started bool
+	done    bool
+	waiting yieldMsg // last yield, what the rank blocks on
+
+	pending map[int][]interface{} // buffered messages per sender
+	redSeq  int
+	charged float64
+
+	// ctx is the entry context the rank's calls route through; only valid
+	// while the rank goroutine is running (strict handoff makes this
+	// safe).
+	ctx *charm.Ctx
+
+	// migrations counts how many times this rank changed PEs (diagnostic).
+	lastPE     int
+	Migrations int
+}
+
+// PackSize implements charm.Chare. Rank state is opaque; model it as a
+// fixed-size image.
+func (rc *rankChare) PackSize() int { return 64 * 1024 }
+
+// yieldFor hands control back to the simulation thread and blocks the
+// rank goroutine until the runtime resumes it.
+func (rc *rankChare) yieldFor(y yieldMsg) resumeMsg {
+	rc.yielded <- y
+	return <-rc.resume
+}
+
+// runSegment resumes the rank goroutine and waits for its next yield,
+// returning the CPU charged during the segment.
+func (rc *rankChare) runSegment(ctx *charm.Ctx, r resumeMsg) float64 {
+	rc.ctx = ctx
+	rc.charged = 0
+	if pe := ctx.PE(); pe != rc.lastPE {
+		rc.Migrations++
+		rc.lastPE = pe
+	}
+	rc.resume <- r
+	y := <-rc.yielded
+	rc.waiting = y
+	rc.ctx = nil
+	if y.kind == yDone {
+		rc.done = true
+		ctx.Done()
+		rc.resume <- resumeMsg{} // release the goroutine so it exits
+	}
+	return rc.charged
+}
+
+// start launches the rank goroutine up to its first yield.
+func (rc *rankChare) start(ctx *charm.Ctx) float64 {
+	rc.started = true
+	rc.lastPE = ctx.PE()
+	go func() {
+		<-rc.resume // wait for the first handoff
+		rc.prog(&Rank{rc: rc})
+		rc.yielded <- yieldMsg{kind: yDone}
+		<-rc.resume // final ack so the goroutine exits cleanly
+	}()
+	// First handoff; lastPE is already set, so no migration is counted.
+	return rc.runSegment(ctx, resumeMsg{})
+}
+
+// Recv implements charm.Chare.
+func (rc *rankChare) Recv(ctx *charm.Ctx, data interface{}) float64 {
+	switch m := data.(type) {
+	case charm.Start:
+		return rc.start(ctx)
+	case charm.Resume:
+		if rc.done {
+			return 0
+		}
+		if rc.waiting.kind != ySync {
+			panic(fmt.Sprintf("ampi: rank %d resumed while not at MigrateSync", rc.rank))
+		}
+		return rc.runSegment(ctx, resumeMsg{})
+	case rankMsg:
+		if rc.done {
+			panic(fmt.Sprintf("ampi: rank %d received message after completion", rc.rank))
+		}
+		if rc.waiting.kind == yRecv && rc.waiting.from == m.From {
+			return rc.runSegment(ctx, resumeMsg{data: m.Data})
+		}
+		if rc.waiting.kind == yRecvAny {
+			return rc.runSegment(ctx, resumeMsg{data: m.Data})
+		}
+		rc.pending[m.From] = append(rc.pending[m.From], m.Data)
+		return 0
+	case charm.ReductionResult:
+		if rc.done {
+			return 0
+		}
+		if rc.waiting.kind != yReduce || rc.waiting.tag != m.Tag {
+			panic(fmt.Sprintf("ampi: rank %d got reduction %q while waiting for %+v", rc.rank, m.Tag, rc.waiting))
+		}
+		return rc.runSegment(ctx, resumeMsg{value: m.Value})
+	}
+	panic(fmt.Sprintf("ampi: rank %d got unexpected message %T", rc.rank, data))
+}

@@ -1,0 +1,67 @@
+package apps
+
+import (
+	"testing"
+
+	"cloudlb/internal/charm"
+	"cloudlb/internal/machine"
+	"cloudlb/internal/sim"
+	"cloudlb/internal/xnet"
+)
+
+func BenchmarkJacobiKernelStep(b *testing.B) {
+	k := NewJacobiKernel(64, 64)(0, 0, 0, 0, 64, 64).(*JacobiKernel)
+	edges := map[int][]float64{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Step(edges)
+	}
+}
+
+func BenchmarkWaveKernelStep(b *testing.B) {
+	k := NewWaveKernel(64, 64, 0.4)(0, 0, 0, 0, 64, 64).(*WaveKernel)
+	edges := map[int][]float64{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k.Step(edges)
+	}
+}
+
+func BenchmarkStencilSimulation(b *testing.B) {
+	// End-to-end simulated Wave2D on 4 cores: measures the whole stack
+	// (engine, machine, network, runtime, kernels).
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		m := machine.New(eng, machine.Config{Nodes: 1, CoresPerNode: 4, CoreSpeed: 1})
+		n := xnet.New(m, xnet.DefaultConfig())
+		rts := charm.NewRTS(charm.Config{Machine: m, Net: n, Cores: []int{0, 1, 2, 3}})
+		NewStencilApp(rts, StencilConfig{
+			Array: "wave", GridW: 128, GridH: 64, CharesX: 8, CharesY: 4,
+			Iters: 30, CostPerCell: 1e-6,
+			NewKernel: NewWaveKernel(128, 64, 0.4),
+		})
+		rts.Start()
+		if err := eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMol3DSimulation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		m := machine.New(eng, machine.Config{Nodes: 1, CoresPerNode: 4, CoreSpeed: 1})
+		n := xnet.New(m, xnet.DefaultConfig())
+		rts := charm.NewRTS(charm.Config{Machine: m, Net: n, Cores: []int{0, 1, 2, 3}})
+		NewMol3DApp(rts, Mol3DConfig{
+			CellsX: 4, CellsY: 4, CellsZ: 1,
+			CellSize: 1.0, Particles: 200, ClusterFrac: 0.4,
+			Seed: 1, Dt: 1e-3, Iters: 15,
+			CostPerPair: 1e-8,
+		})
+		rts.Start()
+		if err := eng.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package apps
+
+// JacobiKernel performs 5-point Jacobi relaxation of the Laplace equation
+// on one block of the global grid. The global boundary condition is
+// Dirichlet: the top edge of the domain is held at 1.0, the other three
+// edges at 0.0, so the solution converges to the harmonic interpolation.
+type JacobiKernel struct {
+	w, h   int // block size
+	x0, y0 int // global offset of this block
+	gw, gh int // global grid size
+	cur    []float64
+	next   []float64
+	// lastDelta is the max absolute update of the latest Step, for
+	// convergence monitoring.
+	lastDelta float64
+}
+
+// NewJacobiKernel builds the block covering [x0,x0+w) x [y0,y0+h) of a
+// gw x gh grid, initialized to zero.
+func NewJacobiKernel(gw, gh int) func(bx, by, x0, y0, w, h int) Kernel {
+	return func(bx, by, x0, y0, w, h int) Kernel {
+		return &JacobiKernel{
+			w: w, h: h, x0: x0, y0: y0, gw: gw, gh: gh,
+			cur:  make([]float64, w*h),
+			next: make([]float64, w*h),
+		}
+	}
+}
+
+func (k *JacobiKernel) at(x, y int) float64 { return k.cur[y*k.w+x] }
+
+// boundary returns the Dirichlet value just outside the global grid.
+func (k *JacobiKernel) boundary(gx, gy int) float64 {
+	if gy < 0 {
+		return 1.0 // top edge held hot
+	}
+	return 0.0
+}
+
+// neighborValue resolves the stencil neighbor at block-local (x, y),
+// which may fall in a ghost edge or on the physical boundary.
+func (k *JacobiKernel) neighborValue(x, y int, edges map[int][]float64) float64 {
+	switch {
+	case y < 0:
+		if e, ok := edges[dirN]; ok {
+			return e[x]
+		}
+		return k.boundary(k.x0+x, k.y0+y)
+	case y >= k.h:
+		if e, ok := edges[dirS]; ok {
+			return e[x]
+		}
+		return k.boundary(k.x0+x, k.y0+y)
+	case x < 0:
+		if e, ok := edges[dirW]; ok {
+			return e[y]
+		}
+		return k.boundary(k.x0+x, k.y0+y)
+	case x >= k.w:
+		if e, ok := edges[dirE]; ok {
+			return e[y]
+		}
+		return k.boundary(k.x0+x, k.y0+y)
+	}
+	return k.at(x, y)
+}
+
+// Step implements Kernel: next = average of the four neighbors.
+func (k *JacobiKernel) Step(edges map[int][]float64) {
+	maxDelta := 0.0
+	for y := 0; y < k.h; y++ {
+		for x := 0; x < k.w; x++ {
+			v := 0.25 * (k.neighborValue(x, y-1, edges) +
+				k.neighborValue(x, y+1, edges) +
+				k.neighborValue(x-1, y, edges) +
+				k.neighborValue(x+1, y, edges))
+			k.next[y*k.w+x] = v
+			d := v - k.at(x, y)
+			if d < 0 {
+				d = -d
+			}
+			if d > maxDelta {
+				maxDelta = d
+			}
+		}
+	}
+	k.cur, k.next = k.next, k.cur
+	k.lastDelta = maxDelta
+}
+
+// Edge implements Kernel, returning a copy of the block's boundary row or
+// column facing d. (A copy is required: the stencil chare may advance the
+// kernel again before the message leaves the PE.)
+func (k *JacobiKernel) Edge(d int) []float64 {
+	switch d {
+	case dirN:
+		return append([]float64(nil), k.cur[:k.w]...)
+	case dirS:
+		return append([]float64(nil), k.cur[(k.h-1)*k.w:]...)
+	case dirW:
+		e := make([]float64, k.h)
+		for y := 0; y < k.h; y++ {
+			e[y] = k.at(0, y)
+		}
+		return e
+	case dirE:
+		e := make([]float64, k.h)
+		for y := 0; y < k.h; y++ {
+			e[y] = k.at(k.w-1, y)
+		}
+		return e
+	}
+	panic("apps: bad edge direction")
+}
+
+// Bytes implements Kernel.
+func (k *JacobiKernel) Bytes() int { return 8 * k.w * k.h }
+
+// LastDelta returns the largest cell update of the most recent Step.
+func (k *JacobiKernel) LastDelta() float64 { return k.lastDelta }
+
+// Residual implements ResidualKernel: Jacobi's convergence measure is the
+// largest cell update of the latest iteration.
+func (k *JacobiKernel) Residual() float64 { return k.lastDelta }
+
+// Value returns the current value at block-local (x, y), for tests.
+func (k *JacobiKernel) Value(x, y int) float64 { return k.at(x, y) }

@@ -1,0 +1,380 @@
+// Package charm is a message-driven migratable-object runtime in the style
+// of Charm++, running on the simulated cluster of internal/machine.
+//
+// Applications over-decompose into chares: objects with state and a Recv
+// entry method. The runtime maps chares onto processing elements (PEs) —
+// one worker thread pinned to each core the runtime owns — and schedules
+// one entry method at a time per PE. Entry methods report the CPU they
+// consume; the PE's thread then contends for the core against whatever
+// else the machine runs there (interfering jobs included), so the wall
+// time of an entry silently includes stolen CPU, exactly as the paper's
+// Projections measurements do.
+//
+// Chares periodically call AtSync; when every chare has synced, the
+// runtime gathers the per-task wall times and the per-core background
+// loads (Eq. 2: O_p = T_lb − Σt_i − t_idle, with t_idle read from the
+// simulated /proc/stat) to PE 0, runs the configured strategy, migrates
+// objects over the interconnect, and resumes. Migration and LB messaging
+// costs land in application wall-clock time.
+package charm
+
+import (
+	"fmt"
+	"sort"
+
+	"cloudlb/internal/core"
+	"cloudlb/internal/machine"
+	"cloudlb/internal/sim"
+	"cloudlb/internal/trace"
+	"cloudlb/internal/xnet"
+)
+
+// ChareID identifies a chare; it doubles as the load balancer's TaskID.
+type ChareID = core.TaskID
+
+// Chare is a migratable object. Implementations hold application state.
+type Chare interface {
+	// Recv handles one message and returns the CPU-seconds the entry
+	// method consumes. The runtime runs application logic eagerly but
+	// charges the returned cost to the PE's thread before any message
+	// sent from this entry leaves the PE.
+	Recv(ctx *Ctx, data interface{}) float64
+	// PackSize returns the object's serialized size in bytes, charged
+	// when the load balancer migrates it.
+	PackSize() int
+}
+
+// Built-in messages the runtime delivers to chares.
+type (
+	// Start is delivered to every chare when the runtime starts.
+	Start struct{}
+	// Resume is delivered to every chare after a load balancing step.
+	Resume struct{}
+	// ReductionResult delivers a completed reduction to every chare of
+	// the contributing array.
+	ReductionResult struct {
+		Tag   string
+		Value float64
+	}
+)
+
+// Placement selects the initial chare-to-PE mapping.
+type Placement int
+
+// Placement policies.
+const (
+	// PlaceBlock assigns contiguous index ranges to PEs (the default;
+	// preserves neighbor locality for stencils).
+	PlaceBlock Placement = iota
+	// PlaceRoundRobin deals indices out cyclically.
+	PlaceRoundRobin
+	// PlaceHash scatters indices by a multiplicative hash, decorrelating
+	// placement from any spatial structure of the index space (useful
+	// for irregular work whose heavy elements are spatially clustered).
+	PlaceHash
+)
+
+// hashPlace maps a chare index to a PE pseudo-randomly but evenly: the
+// index is hashed for ordering, and ranks are dealt round-robin so PE
+// populations differ by at most one.
+func hashPlace(n, p int) []int {
+	type hi struct {
+		h uint32
+		i int
+	}
+	hs := make([]hi, n)
+	for i := 0; i < n; i++ {
+		x := uint32(i+1) * 2654435761
+		x ^= x >> 16
+		x *= 2246822519
+		x ^= x >> 13
+		hs[i] = hi{x, i}
+	}
+	sort.Slice(hs, func(a, b int) bool {
+		if hs[a].h != hs[b].h {
+			return hs[a].h < hs[b].h
+		}
+		return hs[a].i < hs[b].i
+	})
+	out := make([]int, n)
+	for rank, e := range hs {
+		out[e.i] = rank % p
+	}
+	return out
+}
+
+// Config configures a runtime instance. Multiple instances can share one
+// machine (the paper's background job is simply a second instance pinned
+// to two cores).
+type Config struct {
+	Machine *machine.Machine
+	Net     *xnet.Network
+	// Cores lists the global core IDs this runtime owns; PE i runs on
+	// Cores[i].
+	Cores []int
+	// Strategy plans migrations at LB steps; nil means no load balancing
+	// (AtSync still synchronizes, so noLB and LB runs see identical
+	// barrier structure, as in the paper's methodology).
+	Strategy core.Strategy
+	// Placement is the initial mapping policy.
+	Placement Placement
+	// Trace, when non-nil, records per-core timeline segments.
+	Trace *trace.Recorder
+	// TraceAsBackground records this runtime's entries as background
+	// segments — used for interfering jobs so timelines match the
+	// paper's figures.
+	TraceAsBackground bool
+	// ThreadWeight is the OS scheduling weight of PE worker threads
+	// (default 1).
+	ThreadWeight float64
+	// MsgOverheadCPU is the scheduler's per-entry CPU overhead in
+	// seconds (default 2e-6).
+	MsgOverheadCPU float64
+	// PackCPUPerByte is the CPU cost to serialize or deserialize one
+	// byte of a migrating object (default 2e-10, ~5 GB/s memcpy).
+	PackCPUPerByte float64
+	// StatsBytesPerTask sizes the LB stats message (default 24 bytes per
+	// task record).
+	StatsBytesPerTask int
+	// ReductionArity is the fan-in of the reduction spanning tree
+	// (default 4).
+	ReductionArity int
+	// HierarchicalLB routes load balancing statistics, orders and
+	// completion up and down the reduction tree instead of a flat
+	// gather at PE 0 — the communication shape of Charm++'s
+	// hierarchical balancers.
+	HierarchicalLB bool
+	// Name tags this runtime instance in traces.
+	Name string
+}
+
+// RTS is a runtime instance.
+type RTS struct {
+	cfg  Config
+	eng  *sim.Engine
+	pes  []*pe
+	name string
+
+	arrays map[string]*arrayMeta
+	// location maps every chare to its current PE index. Migrations only
+	// happen while the whole runtime is quiesced inside an LB step, so a
+	// single table read at send time is equivalent to the per-PE tables
+	// of a real distributed location manager; the cost of propagating
+	// updates is still paid by the resume broadcast.
+	location map[ChareID]int
+
+	started  bool
+	total    int // total chares
+	done     int
+	finished bool
+	finishAt sim.Time
+	onDone   func()
+
+	lb lbState
+
+	// Quiescence detection state.
+	netInflight int
+	qdWaiters   []func()
+
+	// Counters exposed for experiments.
+	lbSteps    int
+	migrations int
+	lbWall     sim.Time
+}
+
+type arrayMeta struct {
+	name string
+	size int
+}
+
+// NewRTS validates the configuration and builds the PEs.
+func NewRTS(cfg Config) *RTS {
+	if cfg.Machine == nil || cfg.Net == nil {
+		panic("charm: Machine and Net are required")
+	}
+	if len(cfg.Cores) == 0 {
+		panic("charm: at least one core required")
+	}
+	if cfg.ThreadWeight <= 0 {
+		cfg.ThreadWeight = 1
+	}
+	if cfg.MsgOverheadCPU == 0 {
+		cfg.MsgOverheadCPU = 2e-6
+	}
+	if cfg.PackCPUPerByte == 0 {
+		cfg.PackCPUPerByte = 2e-10
+	}
+	if cfg.StatsBytesPerTask == 0 {
+		cfg.StatsBytesPerTask = 24
+	}
+	if cfg.Name == "" {
+		cfg.Name = "rts"
+	}
+	r := &RTS{
+		cfg:      cfg,
+		eng:      cfg.Machine.Engine(),
+		name:     cfg.Name,
+		arrays:   make(map[string]*arrayMeta),
+		location: make(map[ChareID]int),
+	}
+	for i, c := range cfg.Cores {
+		r.pes = append(r.pes, newPE(r, i, cfg.Machine.Core(c)))
+	}
+	return r
+}
+
+// Engine returns the simulation engine driving this runtime.
+func (r *RTS) Engine() *sim.Engine { return r.eng }
+
+// NumPEs returns how many PEs (cores) the runtime owns.
+func (r *RTS) NumPEs() int { return len(r.pes) }
+
+// CoreOf maps a PE index to its global core ID.
+func (r *RTS) CoreOf(peIdx int) int { return r.pes[peIdx].core.ID }
+
+// NewArray creates a chare array and places its elements. It must be
+// called before Start.
+func (r *RTS) NewArray(name string, n int, factory func(idx int) Chare) {
+	if r.started {
+		panic("charm: NewArray after Start")
+	}
+	if _, dup := r.arrays[name]; dup {
+		panic(fmt.Sprintf("charm: duplicate array %q", name))
+	}
+	if n <= 0 {
+		panic("charm: array size must be positive")
+	}
+	r.arrays[name] = &arrayMeta{name: name, size: n}
+	p := len(r.pes)
+	var hashed []int
+	if r.cfg.Placement == PlaceHash {
+		hashed = hashPlace(n, p)
+	}
+	for i := 0; i < n; i++ {
+		var peIdx int
+		switch r.cfg.Placement {
+		case PlaceRoundRobin:
+			peIdx = i % p
+		case PlaceHash:
+			peIdx = hashed[i]
+		default:
+			peIdx = i * p / n
+		}
+		id := ChareID{Array: name, Index: i}
+		r.location[id] = peIdx
+		r.pes[peIdx].install(id, factory(i))
+	}
+	r.total += n
+}
+
+// ArraySize returns the number of elements in an array.
+func (r *RTS) ArraySize(name string) int {
+	a, ok := r.arrays[name]
+	if !ok {
+		panic(fmt.Sprintf("charm: unknown array %q", name))
+	}
+	return a.size
+}
+
+// Start delivers the built-in Start message to every chare at the current
+// virtual time. The caller then runs the simulation engine.
+func (r *RTS) Start() {
+	if r.started {
+		panic("charm: already started")
+	}
+	r.started = true
+	for _, p := range r.pes {
+		p.beginInterval()
+		ids := make([]ChareID, 0, len(p.local))
+		for id := range p.local {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool {
+			if ids[i].Array != ids[j].Array {
+				return ids[i].Array < ids[j].Array
+			}
+			return ids[i].Index < ids[j].Index
+		})
+		for _, id := range ids {
+			p.enqueueApp(id, Start{})
+		}
+		p.pump()
+	}
+}
+
+// Location reports the PE index currently hosting a chare.
+func (r *RTS) Location(id ChareID) int {
+	pe, ok := r.location[id]
+	if !ok {
+		panic(fmt.Sprintf("charm: unknown chare %v", id))
+	}
+	return pe
+}
+
+// Chare returns the live object for a chare ID (for tests and probes).
+func (r *RTS) Chare(id ChareID) Chare {
+	return r.pes[r.Location(id)].local[id]
+}
+
+// Finished reports whether every chare has called Done.
+func (r *RTS) Finished() bool { return r.finished }
+
+// FinishTime returns the virtual time at which the last chare called Done.
+// It panics if the run has not finished.
+func (r *RTS) FinishTime() sim.Time {
+	if !r.finished {
+		panic("charm: run not finished")
+	}
+	return r.finishAt
+}
+
+// SetOnAllDone registers a callback fired when the last chare calls Done.
+func (r *RTS) SetOnAllDone(fn func()) { r.onDone = fn }
+
+// LBSteps reports how many load balancing steps have completed.
+func (r *RTS) LBSteps() int { return r.lbSteps }
+
+// Migrations reports the total number of objects migrated.
+func (r *RTS) Migrations() int { return r.migrations }
+
+// LBWallTime reports the cumulative wall time all PEs spent synchronized
+// inside LB steps (sync entry to resume), averaged over PEs.
+func (r *RTS) LBWallTime() sim.Time {
+	return r.lbWall / sim.Time(len(r.pes))
+}
+
+func (r *RTS) chareDone() {
+	r.done++
+	if r.done == r.total && !r.finished {
+		r.finished = true
+		r.finishAt = r.eng.Now()
+		if r.onDone != nil {
+			r.onDone()
+		}
+	}
+}
+
+// send routes a message between chares, via the interconnect when the
+// destination lives on another PE, or via the intra-node path for local
+// delivery (a real RTS enqueues locally; the intra-node latency stands in
+// for that queueing cost).
+func (r *RTS) send(fromPE int, to ChareID, data interface{}, bytes int) {
+	dstPE, ok := r.location[to]
+	if !ok {
+		panic(fmt.Sprintf("charm: send to unknown chare %v", to))
+	}
+	src := r.pes[fromPE].core.ID
+	dst := r.pes[dstPE].core.ID
+	r.netSend(src, dst, bytes, func() {
+		p := r.pes[dstPE]
+		// Re-check location at delivery: the chare may have migrated
+		// while the message was in flight (only possible for messages
+		// crossing an LB step); forward if so, as Charm++ does.
+		if cur := r.location[to]; cur != dstPE {
+			r.send(dstPE, to, data, bytes)
+			return
+		}
+		p.enqueueApp(to, data)
+		p.pump()
+	})
+}

@@ -1,0 +1,61 @@
+package charm
+
+import (
+	"testing"
+
+	"cloudlb/internal/core"
+)
+
+// TestRefineOnHeterogeneousCores: a core running at half speed inflates
+// its tasks' wall times; the balancer (which works in measured seconds)
+// shifts work toward the fast cores, beating the static placement.
+func TestRefineOnHeterogeneousCores(t *testing.T) {
+	run := func(strategy core.Strategy) float64 {
+		eng, m, n := testWorld(1, 4)
+		m.Core(3).SetSpeed(0.5) // a degraded / throttled VM core
+		r := NewRTS(Config{Machine: m, Net: n, Cores: allCores(m), Strategy: strategy})
+		r.NewArray("w", 64, func(int) Chare { return &iterChare{iters: 40, cost: 0.005, syncEvery: 10} })
+		r.Start()
+		runToFinish(t, eng, r, 200)
+		return float64(r.FinishTime())
+	}
+	static := run(nil)
+	balanced := run(&core.RefineLB{EpsilonFrac: 0.02})
+	t.Logf("static=%.3f balanced=%.3f", static, balanced)
+	// Static: core 3 takes 2x as long -> finish ~2x the fair share.
+	// Balanced: work proportional to speed -> finish ~4/3.5 of ideal.
+	if balanced >= static*0.85 {
+		t.Fatalf("refine did not adapt to the slow core: %v vs %v", balanced, static)
+	}
+}
+
+// invalidMoveStrategy deliberately returns garbage to verify the
+// runtime's defensive checks.
+type invalidMoveStrategy struct{ mode int }
+
+func (s *invalidMoveStrategy) Name() string { return "invalid" }
+func (s *invalidMoveStrategy) Plan(st core.Stats) []core.Move {
+	switch s.mode {
+	case 0:
+		return []core.Move{{Task: core.TaskID{Array: "ghost", Index: 99}, To: 0}}
+	default:
+		return []core.Move{{Task: st.Tasks[0].ID, To: 9999}}
+	}
+}
+
+func TestRuntimeRejectsInvalidStrategyMoves(t *testing.T) {
+	for mode := 0; mode <= 1; mode++ {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("mode %d: invalid move did not panic", mode)
+				}
+			}()
+			eng, m, n := testWorld(1, 2)
+			r := NewRTS(Config{Machine: m, Net: n, Cores: allCores(m), Strategy: &invalidMoveStrategy{mode: mode}})
+			r.NewArray("w", 4, func(int) Chare { return &iterChare{iters: 10, cost: 0.01, syncEvery: 5} })
+			r.Start()
+			_ = eng.Run()
+		}()
+	}
+}

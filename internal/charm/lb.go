@@ -1,0 +1,357 @@
+package charm
+
+import (
+	"fmt"
+	"sort"
+
+	"cloudlb/internal/core"
+	"cloudlb/internal/sim"
+	"cloudlb/internal/trace"
+)
+
+// The AtSync load balancing protocol:
+//
+//  1. Every chare calls AtSync. When all chares on a PE have synced, the
+//     PE measures its interval — per-task wall times from the load
+//     database and the background load O_p from Eq. 2 — and sends the
+//     stats to PE 0 (the master).
+//  2. PEs that own no chares cannot observe the sync point themselves, so
+//     once the master has stats from every non-empty PE it probes the
+//     empty ones, which respond with their (taskless) measurements.
+//  3. With all P samples, the master runs the strategy, updates the
+//     location table, and sends each PE its migration orders along with
+//     the number of inbound objects to expect.
+//  4. PEs serialize (CPU burst), transmit objects over the interconnect,
+//     deserialize inbound objects (CPU burst), and report completion.
+//  5. The master broadcasts resume; every PE resets its load database and
+//     delivers the built-in Resume message to its chares.
+//
+// With a nil strategy the whole protocol is skipped: AtSync immediately
+// resumes the calling chare, so "noLB" runs pay no synchronization cost,
+// matching the paper's baseline.
+
+// Message size constants (bytes) for protocol traffic.
+const (
+	statsMsgBase  = 32
+	orderMsgBase  = 32
+	perMoveBytes  = 16
+	syncDoneBytes = 16
+	probeBytes    = 16
+	resumeMsgBase = 32
+	migrateHeader = 64
+)
+
+// lbState is the master-side (PE 0) state of one LB step.
+type lbState struct {
+	active     bool
+	stats      core.Stats
+	statsCount int
+	probed     bool
+	doneCount  int
+	moves      []core.Move
+	startAt    sim.Time
+}
+
+type peStats struct {
+	pe    int
+	tasks []core.Task
+	bg    float64
+	speed float64
+}
+
+// maybeEnterSync fires when a chare syncs: once every local chare has, the
+// PE measures and reports.
+func (p *pe) maybeEnterSync(self ChareID) {
+	if p.rts.cfg.Strategy == nil {
+		// noLB short-circuit: resume just this chare immediately. The
+		// chare stays marked synced until the Resume is delivered, so
+		// already-queued messages cannot drive it past the sync point.
+		p.enqueueApp(self, Resume{})
+		return
+	}
+	if p.inSync || len(p.local) == 0 || len(p.synced) != len(p.local) {
+		return
+	}
+	if p.rts.cfg.HierarchicalLB {
+		p.hierOnLocalSynced()
+		return
+	}
+	p.enterSync()
+}
+
+func (p *pe) enterSync() {
+	p.inSync = true
+	p.syncAt = p.rts.eng.Now()
+	p.sendStats()
+}
+
+// measureStats snapshots this PE's load database and background load
+// (paper Eq. 2) for the interval since the last resume.
+func (p *pe) measureStats() peStats {
+	now := p.rts.eng.Now()
+	tlb := float64(now - p.intervalAt)
+	_, idleNow := p.core.ProcStat()
+	idleDelta := float64(idleNow - p.idleAtLB)
+
+	st := peStats{pe: p.index, speed: p.core.Speed()}
+	sumTasks := 0.0
+	ids := make([]ChareID, 0, len(p.local))
+	for id := range p.local {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].Array != ids[j].Array {
+			return ids[i].Array < ids[j].Array
+		}
+		return ids[i].Index < ids[j].Index
+	})
+	for _, id := range ids {
+		w := p.taskWall[id]
+		sumTasks += w
+		st.tasks = append(st.tasks, core.Task{
+			ID: id, PE: p.index, Load: w, Bytes: p.local[id].PackSize(),
+		})
+	}
+	// Paper Eq. 2: O_p = T_lb − Σ t_i − t_idle. Interference inflates the
+	// task terms, so the subtraction can go slightly negative; clamp.
+	bg := tlb - sumTasks - idleDelta
+	if bg < 0 {
+		bg = 0
+	}
+	st.bg = bg
+	p.sentStats = true
+	return st
+}
+
+// sendStats measures the interval and ships the load database to PE 0
+// (flat mode).
+func (p *pe) sendStats() {
+	st := p.measureStats()
+	bytes := statsMsgBase + p.rts.cfg.StatsBytesPerTask*len(st.tasks)
+	master := p.rts.pes[0]
+	p.rts.netSend(p.core.ID, master.core.ID, bytes, func() {
+		master.enqueueSys(func() { p.rts.masterStats(st) })
+	})
+}
+
+// masterStats runs on PE 0 as each PE's measurement arrives.
+func (r *RTS) masterStats(st peStats) {
+	lb := &r.lb
+	if !lb.active {
+		lb.active = true
+		lb.stats = core.Stats{}
+		lb.statsCount = 0
+		lb.probed = false
+		lb.doneCount = 0
+		lb.startAt = r.eng.Now()
+	}
+	lb.stats.Tasks = append(lb.stats.Tasks, st.tasks...)
+	lb.stats.Cores = append(lb.stats.Cores, core.CoreSample{PE: st.pe, Background: st.bg, Speed: st.speed})
+	lb.statsCount++
+
+	if lb.statsCount == len(r.pes) {
+		r.masterPlan()
+		return
+	}
+	if !lb.probed && lb.statsCount == r.nonEmptyPEs() {
+		lb.probed = true
+		for _, p := range r.pes {
+			if len(p.local) == 0 && !p.sentStats {
+				r.probeEmpty(p)
+			}
+		}
+	}
+}
+
+func (r *RTS) nonEmptyPEs() int {
+	n := 0
+	for _, p := range r.pes {
+		if len(p.local) > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+func (r *RTS) probeEmpty(p *pe) {
+	master := r.pes[0]
+	r.netSend(master.core.ID, p.core.ID, probeBytes, func() {
+		p.enqueueSys(func() {
+			if !p.inSync {
+				p.enterSync()
+			}
+		})
+	})
+}
+
+// planMoves sorts and validates the gathered statistics, runs the
+// strategy, applies the new mapping to the location table, and returns
+// the per-PE migration orders and inbound counts. It is shared between
+// the flat gather and the hierarchical tree protocol.
+func (r *RTS) planMoves(stats *core.Stats, wallSince sim.Time) (outs map[int][]core.Move, ins map[int]int, moves []core.Move) {
+	// Deterministic strategy input: sort by PE, tasks by ID.
+	sort.Slice(stats.Cores, func(i, j int) bool { return stats.Cores[i].PE < stats.Cores[j].PE })
+	sort.Slice(stats.Tasks, func(i, j int) bool {
+		a, b := stats.Tasks[i], stats.Tasks[j]
+		if a.ID.Array != b.ID.Array {
+			return a.ID.Array < b.ID.Array
+		}
+		return a.ID.Index < b.ID.Index
+	})
+	stats.WallSinceLB = float64(wallSince)
+	if err := core.Validate(*stats); err != nil {
+		panic(fmt.Sprintf("charm: invalid LB stats: %v", err))
+	}
+
+	moves = r.cfg.Strategy.Plan(*stats)
+	// Drop no-op moves defensively.
+	outs = make(map[int][]core.Move, len(r.pes))
+	ins = make(map[int]int, len(r.pes))
+	for _, m := range moves {
+		from, ok := r.location[m.Task]
+		if !ok {
+			panic(fmt.Sprintf("charm: strategy moved unknown task %v", m.Task))
+		}
+		if m.To < 0 || m.To >= len(r.pes) {
+			panic(fmt.Sprintf("charm: strategy moved %v to invalid PE %d", m.Task, m.To))
+		}
+		if m.To == from {
+			continue
+		}
+		outs[from] = append(outs[from], m)
+		ins[m.To]++
+		r.location[m.Task] = m.To
+		r.migrations++
+	}
+	return outs, ins, moves
+}
+
+// masterPlan runs the strategy and fans out migration orders (flat mode).
+func (r *RTS) masterPlan() {
+	lb := &r.lb
+	outs, ins, moves := r.planMoves(&lb.stats, r.eng.Now()-lb.startAt)
+	lb.moves = moves
+
+	master := r.pes[0]
+	for _, p := range r.pes {
+		p := p
+		order := outs[p.index]
+		expect := ins[p.index]
+		bytes := orderMsgBase + perMoveBytes*len(order)
+		r.netSend(master.core.ID, p.core.ID, bytes, func() {
+			p.enqueueSys(func() { p.onOrder(order, expect) })
+		})
+	}
+}
+
+// onOrder packs and ships this PE's outgoing objects and records how many
+// inbound objects to await.
+func (p *pe) onOrder(order []core.Move, expect int) {
+	p.orderSeen = true
+	p.expectIn = expect
+	if len(order) == 0 {
+		p.maybeSyncDone()
+		return
+	}
+	packCPU := 0.0
+	type shipment struct {
+		id    ChareID
+		obj   Chare
+		bytes int
+		to    int
+	}
+	var ships []shipment
+	for _, m := range order {
+		obj, ok := p.local[m.Task]
+		if !ok {
+			panic(fmt.Sprintf("charm: PE %d ordered to move absent chare %v", p.index, m.Task))
+		}
+		delete(p.local, m.Task)
+		b := obj.PackSize()
+		packCPU += float64(b) * p.rts.cfg.PackCPUPerByte
+		ships = append(ships, shipment{id: m.Task, obj: obj, bytes: b, to: m.To})
+	}
+	p.runBurst(packCPU, func() {
+		for _, s := range ships {
+			s := s
+			dst := p.rts.pes[s.to]
+			p.rts.netSend(p.core.ID, dst.core.ID, s.bytes+migrateHeader, func() {
+				dst.enqueueSys(func() { dst.receiveMigrant(s.id, s.obj, s.bytes) })
+			})
+		}
+		p.maybeSyncDone()
+	})
+}
+
+// receiveMigrant deserializes an inbound object (CPU burst) and installs it.
+func (p *pe) receiveMigrant(id ChareID, obj Chare, bytes int) {
+	p.runBurst(float64(bytes)*p.rts.cfg.PackCPUPerByte, func() {
+		p.install(id, obj)
+		p.arrivedIn++
+		p.maybeSyncDone()
+	})
+}
+
+// maybeSyncDone reports completion once this PE has shipped all its
+// outbound objects and installed all inbound ones — to the master in
+// flat mode, aggregated up the tree in hierarchical mode.
+func (p *pe) maybeSyncDone() {
+	if !p.inSync || !p.orderSeen || p.doneSent || p.running {
+		return
+	}
+	if p.arrivedIn < p.expectIn {
+		return
+	}
+	p.doneSent = true
+	if p.rts.cfg.HierarchicalLB {
+		p.hier.selfDone = true
+		p.hierMaybeSyncDone()
+		return
+	}
+	master := p.rts.pes[0]
+	p.rts.netSend(p.core.ID, master.core.ID, syncDoneBytes, func() {
+		master.enqueueSys(func() { p.rts.masterSyncDone() })
+	})
+}
+
+// masterSyncDone fires per PE; when all have reported, the step resumes.
+func (r *RTS) masterSyncDone() {
+	lb := &r.lb
+	lb.doneCount++
+	if lb.doneCount < len(r.pes) {
+		return
+	}
+	lb.active = false
+	r.lbSteps++
+	master := r.pes[0]
+	bytes := resumeMsgBase + perMoveBytes*len(lb.moves)
+	for _, p := range r.pes {
+		p := p
+		r.netSend(master.core.ID, p.core.ID, bytes, func() {
+			p.enqueueSys(func() { p.onResume() })
+		})
+	}
+}
+
+// onResume closes the LB step on this PE and restarts its chares.
+func (p *pe) onResume() {
+	now := p.rts.eng.Now()
+	p.rts.lbWall += now - p.syncAt
+	p.rts.cfg.Trace.Add(trace.Segment{
+		Core: p.core.ID, Start: p.syncAt, End: now, Kind: trace.KindLB, Label: "lb-step",
+	})
+	p.beginInterval()
+	ids := make([]ChareID, 0, len(p.local))
+	for id := range p.local {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		if ids[i].Array != ids[j].Array {
+			return ids[i].Array < ids[j].Array
+		}
+		return ids[i].Index < ids[j].Index
+	})
+	for _, id := range ids {
+		p.enqueueApp(id, Resume{})
+	}
+}

@@ -1,0 +1,214 @@
+package charm
+
+import (
+	"fmt"
+
+	"cloudlb/internal/machine"
+	"cloudlb/internal/sim"
+	"cloudlb/internal/trace"
+)
+
+// pe is one processing element: a worker thread pinned to a core, a message
+// queue, the chares living there, and the load database for the interval
+// since the last LB step.
+type pe struct {
+	rts    *RTS
+	index  int
+	core   *machine.Core
+	thread *machine.Thread
+
+	local map[ChareID]Chare
+
+	appQ []appDelivery
+	sysQ []func()
+
+	running bool // an entry method (or pack/unpack burst) is in flight
+
+	// Load database for the current LB interval.
+	taskWall   map[ChareID]float64
+	intervalAt sim.Time // start of the interval (last resume)
+	idleAtLB   sim.Time // core idle reading at interval start
+
+	// AtSync state.
+	synced    map[ChareID]bool
+	inSync    bool
+	syncAt    sim.Time
+	orderSeen bool
+	expectIn  int
+	arrivedIn int
+	sentStats bool
+	doneSent  bool
+
+	// PE-local reduction accumulators and subtree-size memos (valid
+	// between LB steps; placements only change inside them).
+	reds             map[redKey]*redAcc
+	subtreeMemo      map[string]int
+	subtreeTotalMemo int
+
+	// Hierarchical LB protocol state (Config.HierarchicalLB).
+	hier hierState
+}
+
+type appDelivery struct {
+	to   ChareID
+	data interface{}
+}
+
+func newPE(r *RTS, index int, c *machine.Core) *pe {
+	p := &pe{
+		rts:      r,
+		index:    index,
+		core:     c,
+		local:    make(map[ChareID]Chare),
+		taskWall: make(map[ChareID]float64),
+		synced:   make(map[ChareID]bool),
+	}
+	p.thread = r.cfg.Machine.NewThread(fmt.Sprintf("%s/pe%d", r.name, index), c, r.cfg.ThreadWeight)
+	p.subtreeTotalMemo = -1
+	p.hierReset()
+	return p
+}
+
+func (p *pe) install(id ChareID, c Chare) {
+	if _, dup := p.local[id]; dup {
+		panic(fmt.Sprintf("charm: chare %v already on PE %d", id, p.index))
+	}
+	p.local[id] = c
+}
+
+// beginInterval resets the load database at the start of an LB interval.
+func (p *pe) beginInterval() {
+	p.taskWall = make(map[ChareID]float64, len(p.local))
+	p.intervalAt = p.rts.eng.Now()
+	_, idle := p.core.ProcStat()
+	p.idleAtLB = idle
+	p.synced = make(map[ChareID]bool, len(p.local))
+	p.inSync = false
+	p.orderSeen = false
+	p.expectIn = 0
+	p.arrivedIn = 0
+	p.sentStats = false
+	p.doneSent = false
+	p.subtreeMemo = nil
+	p.subtreeTotalMemo = -1
+	p.hierReset()
+}
+
+func (p *pe) enqueueApp(to ChareID, data interface{}) {
+	p.appQ = append(p.appQ, appDelivery{to: to, data: data})
+}
+
+func (p *pe) enqueueSys(fn func()) {
+	p.sysQ = append(p.sysQ, fn)
+	p.pump()
+}
+
+// pump drives the PE scheduler: system work first (it only exists during
+// LB phases, when application traffic is quiesced), then one application
+// entry at a time.
+//
+// Deliveries addressed to a chare that has called AtSync are held back
+// until its Resume arrives — a chare must not execute past its load
+// balancing point (doing so would, e.g., make a stencil chare re-send
+// its post-sync ghost edges after Resume). Held messages keep their
+// relative order.
+func (p *pe) pump() {
+	for !p.running && len(p.sysQ) > 0 {
+		fn := p.sysQ[0]
+		p.sysQ = p.sysQ[1:]
+		fn()
+	}
+	if p.running || p.inSync || len(p.appQ) == 0 {
+		p.rts.maybeQuiesce()
+		return
+	}
+	idx := -1
+	for i, d := range p.appQ {
+		if _, isResume := d.data.(Resume); isResume || !p.synced[d.to] {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		p.rts.maybeQuiesce()
+		return
+	}
+	d := p.appQ[idx]
+	p.appQ = append(p.appQ[:idx], p.appQ[idx+1:]...)
+	if _, isResume := d.data.(Resume); isResume {
+		delete(p.synced, d.to)
+	}
+	p.execute(d)
+}
+
+// execute runs one entry method: the handler computes eagerly, then the
+// PE's thread contends for the core for the reported CPU cost; sends and
+// state transitions take effect when the burst completes.
+func (p *pe) execute(d appDelivery) {
+	chare, ok := p.local[d.to]
+	if !ok {
+		// The chare moved while this delivery sat in the queue (possible
+		// only across an LB step); forward it.
+		p.rts.send(p.index, d.to, d.data, 64)
+		p.pump()
+		return
+	}
+	p.running = true
+	start := p.rts.eng.Now()
+	ctx := &Ctx{rts: p.rts, pe: p, self: d.to}
+	cost := chare.Recv(ctx, d.data)
+	if cost < 0 {
+		panic(fmt.Sprintf("charm: chare %v returned negative cost %v", d.to, cost))
+	}
+	cost += p.rts.cfg.MsgOverheadCPU
+	p.thread.Run(cost, func() {
+		now := p.rts.eng.Now()
+		p.running = false
+		p.taskWall[d.to] += float64(now - start)
+		kind := trace.KindTask
+		if p.rts.cfg.TraceAsBackground {
+			kind = trace.KindBackground
+		}
+		p.rts.cfg.Trace.Add(trace.Segment{
+			Core: p.core.ID, Start: start, End: now,
+			Kind: kind, Label: d.to.String(),
+		})
+		p.afterEntry(ctx)
+		p.pump()
+	})
+}
+
+// afterEntry applies the effects an entry method produced: outgoing
+// messages, reduction contributions, completion, and AtSync.
+func (p *pe) afterEntry(ctx *Ctx) {
+	for _, m := range ctx.sends {
+		p.rts.send(p.index, m.to, m.data, m.bytes)
+	}
+	for _, c := range ctx.contribs {
+		p.contribute(ctx.self, c)
+	}
+	if ctx.done {
+		p.rts.chareDone()
+	}
+	if ctx.atSync {
+		if p.synced[ctx.self] {
+			panic(fmt.Sprintf("charm: chare %v called AtSync twice in one interval", ctx.self))
+		}
+		p.synced[ctx.self] = true
+		p.maybeEnterSync(ctx.self)
+	}
+}
+
+// runBurst charges a CPU burst (e.g. pack/unpack work) to the PE thread
+// and then continues. It shares the running flag with entry execution.
+func (p *pe) runBurst(cpu float64, then func()) {
+	if p.running {
+		panic("charm: burst while entry in flight")
+	}
+	p.running = true
+	p.thread.Run(cpu, func() {
+		p.running = false
+		then()
+		p.pump()
+	})
+}

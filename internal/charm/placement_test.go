@@ -1,0 +1,91 @@
+package charm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHashPlaceEven(t *testing.T) {
+	f := func(nRaw, pRaw uint8) bool {
+		n := int(nRaw%200) + 1
+		p := int(pRaw%16) + 1
+		out := hashPlace(n, p)
+		if len(out) != n {
+			return false
+		}
+		counts := make([]int, p)
+		for _, pe := range out {
+			if pe < 0 || pe >= p {
+				return false
+			}
+			counts[pe]++
+		}
+		min, max := n, 0
+		for _, c := range counts {
+			if c < min {
+				min = c
+			}
+			if c > max {
+				max = c
+			}
+		}
+		return max-min <= 1 // populations differ by at most one
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashPlaceDeterministic(t *testing.T) {
+	a := hashPlace(100, 7)
+	b := hashPlace(100, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("hash placement not deterministic")
+		}
+	}
+}
+
+func TestHashPlaceDecorrelatesStride(t *testing.T) {
+	// With n a multiple of p, round-robin would give PE 0 exactly the
+	// indices congruent to 0 mod p; the hash must not.
+	out := hashPlace(1024, 32)
+	congruent := 0
+	total := 0
+	for i, pe := range out {
+		if pe == 0 {
+			total++
+			if i%32 == 0 {
+				congruent++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("PE 0 got nothing")
+	}
+	if congruent == total {
+		t.Fatal("hash placement is congruence-structured like round-robin")
+	}
+}
+
+func TestPlaceHashInstallsAllChares(t *testing.T) {
+	_, m, n := testWorld(1, 4)
+	r := NewRTS(Config{Machine: m, Net: n, Cores: allCores(m), Placement: PlaceHash})
+	r.NewArray("w", 37, func(int) Chare { return &iterChare{iters: 1, cost: 0} })
+	counts := make([]int, 4)
+	for i := 0; i < 37; i++ {
+		counts[r.Location(ChareID{Array: "w", Index: i})]++
+	}
+	min, max := 37, 0
+	for _, c := range counts {
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("uneven hash placement: %v", counts)
+	}
+}

@@ -1,0 +1,63 @@
+package charm
+
+// Quiescence detection: the runtime can report the instant at which no
+// entry method is executing, no message (application or system) is in
+// flight or queued, and no load balancing step is active. Charm++ exposes
+// the same capability (CkStartQD); applications use it to terminate
+// phases whose message volume is data-dependent, where counting Done
+// calls is impossible.
+//
+// The simulator makes exact detection cheap: every runtime-originated
+// network send increments an in-flight counter that its delivery
+// decrements, and PEs check for global quiet whenever they run out of
+// work.
+
+// StartQD registers fn to run at the next quiescent instant. If the
+// runtime is already quiescent, fn fires at the current virtual time
+// (asynchronously, like every other runtime callback). Each registration
+// fires exactly once.
+func (r *RTS) StartQD(fn func()) {
+	r.qdWaiters = append(r.qdWaiters, fn)
+	r.maybeQuiesce()
+}
+
+// netSend transmits a runtime message with in-flight accounting, so
+// quiescence detection sees it.
+func (r *RTS) netSend(srcCore, dstCore, bytes int, deliver func()) {
+	r.netInflight++
+	r.cfg.Net.Send(srcCore, dstCore, bytes, func() {
+		r.netInflight--
+		deliver()
+	})
+}
+
+// quiescent reports whether nothing can happen anymore without external
+// input. A runtime that has not started yet is not quiescent: waiters
+// registered before Start observe the quiet *after* the work, which is
+// what quiescence means.
+func (r *RTS) quiescent() bool {
+	if !r.started || r.netInflight > 0 || r.lb.active {
+		return false
+	}
+	for _, p := range r.pes {
+		if p.running || p.inSync || len(p.appQ) > 0 || len(p.sysQ) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// maybeQuiesce fires QD waiters if the runtime is quiet. PEs call it
+// whenever they drain their queues.
+func (r *RTS) maybeQuiesce() {
+	if len(r.qdWaiters) == 0 || !r.quiescent() {
+		return
+	}
+	waiters := r.qdWaiters
+	r.qdWaiters = nil
+	r.eng.After(0, func() {
+		for _, fn := range waiters {
+			fn()
+		}
+	})
+}

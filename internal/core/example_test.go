@@ -1,0 +1,43 @@
+package core_test
+
+import (
+	"fmt"
+
+	"cloudlb/internal/core"
+)
+
+// A minimal load balancing step: four tasks of 0.5 s live on core 0 while
+// core 1 carries 1.0 s of background load (an interfering VM). The
+// balancer moves work until both cores sit near the average.
+func ExampleRefineLB_Plan() {
+	stats := core.Stats{
+		Cores: []core.CoreSample{
+			{PE: 0, Background: 0, Speed: 1},
+			{PE: 1, Background: 1.0, Speed: 1}, // O_p from Eq. 2
+		},
+		Tasks: []core.Task{
+			{ID: core.TaskID{Array: "w", Index: 0}, PE: 0, Load: 0.5, Bytes: 4096},
+			{ID: core.TaskID{Array: "w", Index: 1}, PE: 0, Load: 0.5, Bytes: 4096},
+			{ID: core.TaskID{Array: "w", Index: 2}, PE: 0, Load: 0.5, Bytes: 4096},
+			{ID: core.TaskID{Array: "w", Index: 3}, PE: 0, Load: 0.5, Bytes: 4096},
+		},
+		WallSinceLB: 2.5,
+	}
+	lb := &core.RefineLB{EpsilonFrac: 0.05}
+	fmt.Printf("T_avg = %.2f\n", core.TAvg(stats))
+	for _, m := range lb.Plan(stats) {
+		fmt.Printf("move %v -> PE %d\n", m.Task, m.To)
+	}
+	// Output:
+	// T_avg = 1.50
+	// move w[0] -> PE 1
+}
+
+func ExampleTAvg() {
+	s := core.Stats{
+		Cores: []core.CoreSample{{PE: 0, Speed: 1}, {PE: 1, Background: 2, Speed: 1}},
+		Tasks: []core.Task{{ID: core.TaskID{Array: "a", Index: 0}, PE: 0, Load: 4}},
+	}
+	fmt.Println(core.TAvg(s))
+	// Output: 3
+}

@@ -1,0 +1,190 @@
+package core
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// RefineLB is the paper's Algorithm 1: refinement load balancing for VM
+// interference. Cores are classified against the average load T_avg
+// (Eq. 1, with background loads O_p from Eq. 2 included). Overloaded cores
+// donate their largest migratable tasks to underloaded cores, choosing for
+// each donation the best underloaded core that does not itself become
+// overloaded, until no overloaded core remains.
+//
+// ε — the deviation from T_avg the operator tolerates — is expressed as
+// either an absolute number of seconds (Epsilon) or a fraction of T_avg
+// (EpsilonFrac); if both are zero, a default of 5% of T_avg applies.
+//
+// One deviation from the pseudo-code is required for termination: a core
+// whose smallest task is still too big to place anywhere (every destination
+// would overshoot T_avg+ε) is removed from the overloaded heap as
+// unfixable; the paper's loop would otherwise never empty the heap.
+type RefineLB struct {
+	// Epsilon is the absolute allowed deviation from T_avg in seconds.
+	Epsilon float64
+	// EpsilonFrac expresses ε as a fraction of T_avg; used when Epsilon
+	// is zero. Defaults to 0.05.
+	EpsilonFrac float64
+}
+
+// Name implements Strategy.
+func (r *RefineLB) Name() string { return "RefineLB" }
+
+// Plan implements Strategy with the paper's Algorithm 1.
+func (r *RefineLB) Plan(s Stats) []Move {
+	if len(s.Cores) == 0 || len(s.Tasks) == 0 {
+		return nil
+	}
+	tavg := TAvg(s)
+	eps := r.Epsilon
+	if eps <= 0 {
+		frac := r.EpsilonFrac
+		if frac <= 0 {
+			frac = 0.05
+		}
+		eps = frac * tavg
+	}
+
+	loads, tasksOf := CoreLoads(s)
+
+	// Lines 2-8: categorize cores.
+	over := &coreHeap{}
+	heap.Init(over)
+	var under []int // indices into s.Cores
+	for i := range s.Cores {
+		switch {
+		case loads[i]-tavg > eps: // isHeavy
+			heap.Push(over, coreRef{idx: i, load: loads[i]})
+		case tavg-loads[i] > eps: // isLight
+			under = append(under, i)
+		}
+	}
+
+	// Donor task lists, heaviest first (the paper transfers the biggest
+	// task that fits).
+	for i := range tasksOf {
+		tasksOf[i] = SortTasksByLoadDesc(s, tasksOf[i])
+	}
+
+	var moves []Move
+	// Lines 10-15: drain the overloaded heap.
+	for over.Len() > 0 {
+		donor := heap.Pop(over).(coreRef)
+		donorIdx := donor.idx
+		// Re-read the load: it may have changed since push; stale entries
+		// are re-pushed with current values below, so donor.load is
+		// always current here by construction.
+		bestTask, bestCore := r.bestCoreAndTask(s, donorIdx, tasksOf[donorIdx], loads, under, tavg, eps)
+		if bestTask < 0 {
+			// Unfixable: nothing this donor holds fits anywhere. Drop it
+			// (termination guarantee; see type comment).
+			continue
+		}
+		// Line 13: update the mapping.
+		moves = append(moves, Move{Task: s.Tasks[bestTask].ID, To: s.Cores[bestCore].PE})
+		// Line 14: update loads, heap and set.
+		load := s.Tasks[bestTask].Load
+		loads[donorIdx] -= load
+		loads[bestCore] += load
+		tasksOf[donorIdx] = removeTask(tasksOf[donorIdx], bestTask)
+		tasksOf[bestCore] = insertSorted(s, tasksOf[bestCore], bestTask)
+		if loads[donorIdx]-tavg > eps {
+			heap.Push(over, coreRef{idx: donorIdx, load: loads[donorIdx]})
+		}
+		if !(tavg-loads[bestCore] > eps) {
+			under = removeCore(under, bestCore)
+		}
+	}
+	return moves
+}
+
+// bestCoreAndTask implements getBestCoreAndTask (line 12): pick the biggest
+// task of the donor for which some underloaded core can accept it without
+// becoming overloaded; among eligible cores pick the least loaded (greatest
+// headroom), with the PE number as a deterministic tie-break.
+func (r *RefineLB) bestCoreAndTask(s Stats, donor int, donorTasks []int, loads []float64, under []int, tavg, eps float64) (taskIdx, coreIdx int) {
+	for _, ti := range donorTasks {
+		load := s.Tasks[ti].Load
+		if load <= 0 {
+			// Tasks are sorted heaviest-first; moving a zero-load task
+			// cannot relieve the donor and would not terminate.
+			break
+		}
+		best := -1
+		for _, ci := range under {
+			if ci == donor {
+				continue
+			}
+			if loads[ci]+load-tavg > eps {
+				continue // would overload the destination
+			}
+			if best < 0 || loads[ci] < loads[best] ||
+				(loads[ci] == loads[best] && s.Cores[ci].PE < s.Cores[best].PE) {
+				best = ci
+			}
+		}
+		if best >= 0 {
+			return ti, best
+		}
+	}
+	return -1, -1
+}
+
+func removeTask(list []int, ti int) []int {
+	for i, v := range list {
+		if v == ti {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
+}
+
+func insertSorted(s Stats, list []int, ti int) []int {
+	list = append(list, ti)
+	sort.Slice(list, func(a, b int) bool {
+		ta, tb := s.Tasks[list[a]], s.Tasks[list[b]]
+		if ta.Load != tb.Load {
+			return ta.Load > tb.Load
+		}
+		if ta.ID.Array != tb.ID.Array {
+			return ta.ID.Array < tb.ID.Array
+		}
+		return ta.ID.Index < tb.ID.Index
+	})
+	return list
+}
+
+func removeCore(under []int, ci int) []int {
+	for i, v := range under {
+		if v == ci {
+			return append(under[:i], under[i+1:]...)
+		}
+	}
+	return under
+}
+
+// coreRef is an entry of the overloaded max-heap (overheap in the paper).
+type coreRef struct {
+	idx  int // index into Stats.Cores
+	load float64
+}
+
+type coreHeap []coreRef
+
+func (h coreHeap) Len() int { return len(h) }
+func (h coreHeap) Less(i, j int) bool {
+	if h[i].load != h[j].load {
+		return h[i].load > h[j].load // max-heap
+	}
+	return h[i].idx < h[j].idx
+}
+func (h coreHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *coreHeap) Push(x interface{}) { *h = append(*h, x.(coreRef)) }
+func (h *coreHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	v := old[n-1]
+	*h = old[:n-1]
+	return v
+}

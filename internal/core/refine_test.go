@@ -1,0 +1,357 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// applyMoves returns per-core loads after performing the moves.
+func applyMoves(s Stats, moves []Move) map[int]float64 {
+	loads := map[int]float64{}
+	for _, c := range s.Cores {
+		loads[c.PE] = c.Background
+	}
+	dest := map[TaskID]int{}
+	for _, m := range moves {
+		dest[m.Task] = m.To
+	}
+	for _, t := range s.Tasks {
+		pe := t.PE
+		if to, ok := dest[t.ID]; ok {
+			pe = to
+		}
+		loads[pe] += t.Load
+	}
+	return loads
+}
+
+func maxLoad(loads map[int]float64) float64 {
+	m := 0.0
+	first := true
+	for _, v := range loads {
+		if first || v > m {
+			m = v
+			first = false
+		}
+	}
+	return m
+}
+
+func mkStats(taskLoads map[int][]float64, bg map[int]float64) Stats {
+	var s Stats
+	pes := make([]int, 0, len(taskLoads))
+	for pe := range taskLoads {
+		pes = append(pes, pe)
+	}
+	// Deterministic order.
+	for pe := 0; pe < 1000 && len(pes) > 0; pe++ {
+		if _, ok := taskLoads[pe]; !ok {
+			continue
+		}
+		s.Cores = append(s.Cores, CoreSample{PE: pe, Background: bg[pe], Speed: 1})
+		for i, l := range taskLoads[pe] {
+			s.Tasks = append(s.Tasks, Task{
+				ID:    TaskID{Array: "a", Index: pe*100 + i},
+				PE:    pe,
+				Load:  l,
+				Bytes: 1000,
+			})
+		}
+		delete(taskLoads, pe)
+		pes = pes[:len(pes)-1]
+	}
+	return s
+}
+
+func TestTAvg(t *testing.T) {
+	s := mkStats(map[int][]float64{
+		0: {1, 1},
+		1: {2},
+	}, map[int]float64{0: 0, 1: 1})
+	// total = 1+1+2+1 = 5 over 2 cores.
+	if got := TAvg(s); math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("TAvg=%v, want 2.5", got)
+	}
+}
+
+func TestTAvgEmpty(t *testing.T) {
+	if TAvg(Stats{}) != 0 {
+		t.Fatal("TAvg of empty stats not 0")
+	}
+}
+
+func TestTAvgHeterogeneousSpeeds(t *testing.T) {
+	s := Stats{
+		Cores: []CoreSample{{PE: 0, Speed: 1}, {PE: 1, Speed: 3}},
+		Tasks: []Task{{ID: TaskID{"a", 0}, PE: 0, Load: 8}},
+	}
+	// 8 seconds of work over 4 speed-units = 2 per unit-speed core.
+	if got := TAvg(s); math.Abs(got-2) > 1e-12 {
+		t.Fatalf("TAvg=%v, want 2", got)
+	}
+}
+
+func TestValidateCatchesBadStats(t *testing.T) {
+	good := mkStats(map[int][]float64{0: {1}, 1: {1}}, nil)
+	if err := Validate(good); err != nil {
+		t.Fatalf("valid stats rejected: %v", err)
+	}
+	dupPE := good
+	dupPE.Cores = append(dupPE.Cores, CoreSample{PE: 0})
+	if Validate(dupPE) == nil {
+		t.Fatal("duplicate PE accepted")
+	}
+	badPE := mkStats(map[int][]float64{0: {1}}, nil)
+	badPE.Tasks[0].PE = 9
+	if Validate(badPE) == nil {
+		t.Fatal("task on unknown PE accepted")
+	}
+	negLoad := mkStats(map[int][]float64{0: {1}}, nil)
+	negLoad.Tasks[0].Load = -1
+	if Validate(negLoad) == nil {
+		t.Fatal("negative load accepted")
+	}
+	negBG := mkStats(map[int][]float64{0: {1}}, map[int]float64{0: -1})
+	if Validate(negBG) == nil {
+		t.Fatal("negative background accepted")
+	}
+	dupTask := mkStats(map[int][]float64{0: {1, 1}}, nil)
+	dupTask.Tasks[1].ID = dupTask.Tasks[0].ID
+	if Validate(dupTask) == nil {
+		t.Fatal("duplicate task ID accepted")
+	}
+}
+
+func TestRefineBalancedInputNoMoves(t *testing.T) {
+	s := mkStats(map[int][]float64{
+		0: {1, 1}, 1: {1, 1}, 2: {1, 1}, 3: {1, 1},
+	}, nil)
+	r := &RefineLB{}
+	if moves := r.Plan(s); len(moves) != 0 {
+		t.Fatalf("balanced input produced %d moves", len(moves))
+	}
+}
+
+func TestRefineMovesWorkOffInterferedCore(t *testing.T) {
+	// 4 cores, 4 tasks of 0.5 per core, background load 2 on core 3:
+	// T_avg = (8+2)/4 = 2.5. Core 3 has 2+2=4 > 2.5; it should donate
+	// roughly 1.5 worth of tasks. Task grain (0.5) is fine enough for the
+	// fit check to accept destinations.
+	s := mkStats(map[int][]float64{
+		0: {0.5, 0.5, 0.5, 0.5}, 1: {0.5, 0.5, 0.5, 0.5},
+		2: {0.5, 0.5, 0.5, 0.5}, 3: {0.5, 0.5, 0.5, 0.5},
+	}, map[int]float64{3: 2})
+	r := &RefineLB{EpsilonFrac: 0.1}
+	moves := r.Plan(s)
+	if len(moves) == 0 {
+		t.Fatal("no moves planned for interfered core")
+	}
+	for _, m := range moves {
+		if m.To == 3 {
+			t.Fatalf("move %v targets the interfered core", m)
+		}
+	}
+	after := applyMoves(s, moves)
+	tavg := TAvg(s)
+	eps := 0.1 * tavg
+	for pe, l := range after {
+		if l-tavg > eps+1e-9 {
+			t.Fatalf("core %d still overloaded after plan: %v > %v+%v", pe, l, tavg, eps)
+		}
+	}
+}
+
+func TestRefineRespectsEpsilonAbsolute(t *testing.T) {
+	s := mkStats(map[int][]float64{0: {0.5, 0.5, 0.5, 0.5}, 1: {}}, nil)
+	// T_avg = 1; imbalance is 1; with eps=1 nothing is overloaded.
+	r := &RefineLB{Epsilon: 1}
+	if moves := r.Plan(s); len(moves) != 0 {
+		t.Fatalf("eps=1 should tolerate the imbalance, got %v", moves)
+	}
+	r = &RefineLB{Epsilon: 0.1}
+	if moves := r.Plan(s); len(moves) == 0 {
+		t.Fatal("eps=0.1 should trigger a move")
+	}
+}
+
+func TestRefineUnfixableSingleHugeTask(t *testing.T) {
+	// One task of load 10 on core 0, nothing else. No move can help
+	// (any destination would be equally overloaded); must terminate with
+	// no moves.
+	s := mkStats(map[int][]float64{0: {10}, 1: {}, 2: {}, 3: {}}, nil)
+	r := &RefineLB{EpsilonFrac: 0.05}
+	moves := r.Plan(s)
+	if len(moves) != 0 {
+		t.Fatalf("planned %v for an unfixable task", moves)
+	}
+}
+
+func TestRefineZeroLoadTasksDoNotLoop(t *testing.T) {
+	s := mkStats(map[int][]float64{0: {0, 0, 0}, 1: {}}, map[int]float64{0: 5})
+	r := &RefineLB{}
+	moves := r.Plan(s) // must terminate
+	for _, m := range moves {
+		t.Fatalf("moved a zero-load task: %v", m)
+	}
+}
+
+func TestRefineDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s := randomStats(rng, 8, 40)
+	r := &RefineLB{EpsilonFrac: 0.05}
+	first := r.Plan(s)
+	for i := 0; i < 5; i++ {
+		if got := r.Plan(s); !reflect.DeepEqual(got, first) {
+			t.Fatalf("plan %d differs: %v vs %v", i, got, first)
+		}
+	}
+}
+
+func randomStats(rng *rand.Rand, cores, tasks int) Stats {
+	var s Stats
+	for c := 0; c < cores; c++ {
+		bg := 0.0
+		if rng.Float64() < 0.3 {
+			bg = rng.Float64() * 3
+		}
+		s.Cores = append(s.Cores, CoreSample{PE: c, Background: bg, Speed: 1})
+	}
+	for i := 0; i < tasks; i++ {
+		s.Tasks = append(s.Tasks, Task{
+			ID:    TaskID{Array: "a", Index: i},
+			PE:    rng.Intn(cores),
+			Load:  rng.Float64() * 2,
+			Bytes: rng.Intn(1 << 16),
+		})
+	}
+	s.WallSinceLB = 10
+	return s
+}
+
+// Property: RefineLB never raises the maximum core load, never moves a
+// task onto a core that started overloaded, and only moves tasks off
+// overloaded cores.
+func TestRefinePropertiesRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 300; trial++ {
+		cores := 2 + rng.Intn(12)
+		tasks := rng.Intn(60)
+		s := randomStats(rng, cores, tasks)
+		r := &RefineLB{EpsilonFrac: 0.05}
+		tavg := TAvg(s)
+		eps := 0.05 * tavg
+		before := applyMoves(s, nil)
+		moves := r.Plan(s)
+
+		seen := map[TaskID]bool{}
+		for _, m := range moves {
+			if seen[m.Task] {
+				t.Fatalf("trial %d: task %v moved twice", trial, m.Task)
+			}
+			seen[m.Task] = true
+		}
+		taskByID := map[TaskID]Task{}
+		for _, task := range s.Tasks {
+			taskByID[task.ID] = task
+		}
+		for _, m := range moves {
+			task := taskByID[m.Task]
+			if !(before[task.PE]-tavg > eps) {
+				t.Fatalf("trial %d: moved task %v off non-overloaded core %d (load %v, tavg %v)",
+					trial, m.Task, task.PE, before[task.PE], tavg)
+			}
+			if before[m.To]-tavg > eps {
+				t.Fatalf("trial %d: moved task onto overloaded core %d", trial, m.To)
+			}
+			if m.To == task.PE {
+				t.Fatalf("trial %d: no-op move %v", trial, m)
+			}
+		}
+		after := applyMoves(s, moves)
+		if maxLoad(after) > maxLoad(before)+1e-9 {
+			t.Fatalf("trial %d: max load rose from %v to %v", trial, maxLoad(before), maxLoad(after))
+		}
+		// Destinations must not end overloaded (the fit check).
+		for _, m := range moves {
+			if after[m.To]-tavg > eps+1e-9 {
+				t.Fatalf("trial %d: destination %d overloaded after plan (%v > %v+%v)",
+					trial, m.To, after[m.To], tavg, eps)
+			}
+		}
+	}
+}
+
+// Property: when the workload is made of many small identical tasks, the
+// plan fully restores balance (every core within eps of T_avg).
+func TestRefineFullyBalancesDivisibleLoad(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		cores := 2 + rng.Intn(8)
+		perCore := 16
+		grain := 0.125
+		tl := map[int][]float64{}
+		bg := map[int]float64{}
+		for c := 0; c < cores; c++ {
+			for i := 0; i < perCore; i++ {
+				tl[c] = append(tl[c], grain)
+			}
+		}
+		// Interference on one core, worth half its compute load.
+		victim := rng.Intn(cores)
+		bg[victim] = 1.0
+		s := mkStats(tl, bg)
+		r := &RefineLB{EpsilonFrac: 0.05}
+		moves := r.Plan(s)
+		after := applyMoves(s, moves)
+		tavg := TAvg(s)
+		eps := 0.05 * tavg
+		// Provable bound: the algorithm only stops early when the
+		// underloaded set empties, i.e. every other core is above
+		// tavg-eps; the residual excess is then at most (P-1)*eps, plus
+		// one task of granularity slack.
+		bound := float64(cores-1)*eps + grain
+		for pe, l := range after {
+			if l-tavg > bound {
+				t.Fatalf("trial %d (%d cores): core %d at %v, tavg %v, bound %v", trial, cores, pe, l, tavg, bound)
+			}
+		}
+	}
+}
+
+func TestSortTasksByLoadDescStable(t *testing.T) {
+	s := Stats{Tasks: []Task{
+		{ID: TaskID{"a", 2}, Load: 1},
+		{ID: TaskID{"a", 0}, Load: 1},
+		{ID: TaskID{"a", 1}, Load: 3},
+	}}
+	got := SortTasksByLoadDesc(s, []int{0, 1, 2})
+	want := []int{2, 1, 0} // load 3 first, then ties by index
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("order %v, want %v", got, want)
+	}
+}
+
+func TestCoreLoadsPanicsOnUnknownPE(t *testing.T) {
+	s := Stats{
+		Cores: []CoreSample{{PE: 0}},
+		Tasks: []Task{{ID: TaskID{"a", 0}, PE: 7, Load: 1}},
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown PE did not panic")
+		}
+	}()
+	CoreLoads(s)
+}
+
+func BenchmarkRefinePlan32Cores(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	s := randomStats(rng, 32, 512)
+	r := &RefineLB{EpsilonFrac: 0.05}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Plan(s)
+	}
+}

@@ -1,0 +1,168 @@
+// Package core implements the paper's primary contribution: a cloud
+// friendly, interference-aware refinement load balancing strategy for
+// migratable-object runtimes (paper Algorithm 1), together with the
+// strategy interface the runtime invokes at every load balancing step.
+//
+// The inputs deliberately mirror what the Charm++ load balancing database
+// plus /proc/stat can measure on a real system:
+//
+//   - per-task wall time spent in entry methods since the last LB step
+//     (inflated by interference, exactly as Projections measures it), and
+//   - per-core background load O_p, derived from Eq. 2 of the paper:
+//     O_p = T_lb − Σ_i t_i − t_idle.
+//
+// A Strategy sees nothing else — in particular it never sees simulator
+// ground truth about interfering jobs.
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// TaskID identifies a migratable object (chare) by its array and index.
+type TaskID struct {
+	Array string
+	Index int
+}
+
+func (id TaskID) String() string { return fmt.Sprintf("%s[%d]", id.Array, id.Index) }
+
+// Task is the measured record of one migratable object.
+type Task struct {
+	ID TaskID
+	// PE is the core the task currently lives on.
+	PE int
+	// Load is the wall-clock seconds the task's entry methods consumed
+	// since the last LB step (the principle of persistence says the next
+	// interval will look the same).
+	Load float64
+	// Bytes is the serialized size of the object, used by strategies that
+	// weigh migration cost.
+	Bytes int
+}
+
+// CoreSample is the per-core measurement taken at an LB step.
+type CoreSample struct {
+	PE int
+	// Background is O_p: external load observed on the core since the
+	// last LB step (seconds of CPU the application did not get and the
+	// OS did not report as idle).
+	Background float64
+	// Speed is the relative core speed (1.0 = nominal).
+	Speed float64
+}
+
+// Stats is everything a strategy sees at a load balancing step.
+type Stats struct {
+	Tasks []Task
+	Cores []CoreSample
+	// WallSinceLB is T_lb: wall time since the previous LB step.
+	WallSinceLB float64
+}
+
+// Move reassigns one task to a destination core.
+type Move struct {
+	Task TaskID
+	To   int
+}
+
+// Strategy decides task migrations from measured statistics.
+type Strategy interface {
+	// Name identifies the strategy in reports and traces.
+	Name() string
+	// Plan returns the migrations to perform. Returning an empty slice
+	// keeps the current placement. Plan must not mutate s.
+	Plan(s Stats) []Move
+}
+
+// TAvg computes the paper's Eq. 1: the average per-core load including
+// background load, normalized by core speed. With homogeneous unit-speed
+// cores it reduces exactly to Eq. 1.
+func TAvg(s Stats) float64 {
+	if len(s.Cores) == 0 {
+		return 0
+	}
+	total := 0.0
+	for _, t := range s.Tasks {
+		total += t.Load
+	}
+	speed := 0.0
+	for _, c := range s.Cores {
+		total += c.Background
+		sp := c.Speed
+		if sp <= 0 {
+			sp = 1
+		}
+		speed += sp
+	}
+	return total / speed
+}
+
+// CoreLoads returns each core's current load Σ t_i + O_p, indexed by
+// position in s.Cores, along with the per-core task lists (indices into
+// s.Tasks) for reuse by strategies.
+func CoreLoads(s Stats) (loads []float64, tasksOf [][]int) {
+	idx := make(map[int]int, len(s.Cores))
+	loads = make([]float64, len(s.Cores))
+	tasksOf = make([][]int, len(s.Cores))
+	for i, c := range s.Cores {
+		idx[c.PE] = i
+		loads[i] = c.Background
+	}
+	for ti, t := range s.Tasks {
+		i, ok := idx[t.PE]
+		if !ok {
+			panic(fmt.Sprintf("core: task %v on unknown PE %d", t.ID, t.PE))
+		}
+		loads[i] += t.Load
+		tasksOf[i] = append(tasksOf[i], ti)
+	}
+	return loads, tasksOf
+}
+
+// Validate checks a stats snapshot for internal consistency; the runtime
+// calls it before handing stats to a strategy.
+func Validate(s Stats) error {
+	seen := make(map[int]bool, len(s.Cores))
+	for _, c := range s.Cores {
+		if seen[c.PE] {
+			return fmt.Errorf("core: duplicate PE %d in stats", c.PE)
+		}
+		seen[c.PE] = true
+		if c.Background < 0 {
+			return fmt.Errorf("core: negative background load %v on PE %d", c.Background, c.PE)
+		}
+	}
+	ids := make(map[TaskID]bool, len(s.Tasks))
+	for _, t := range s.Tasks {
+		if !seen[t.PE] {
+			return fmt.Errorf("core: task %v on unknown PE %d", t.ID, t.PE)
+		}
+		if t.Load < 0 {
+			return fmt.Errorf("core: negative load %v for task %v", t.Load, t.ID)
+		}
+		if ids[t.ID] {
+			return fmt.Errorf("core: duplicate task %v", t.ID)
+		}
+		ids[t.ID] = true
+	}
+	return nil
+}
+
+// SortTasksByLoadDesc returns task indices ordered from heaviest to
+// lightest, with a deterministic ID tie-break.
+func SortTasksByLoadDesc(s Stats, indices []int) []int {
+	out := append([]int(nil), indices...)
+	sort.Slice(out, func(a, b int) bool {
+		ta, tb := s.Tasks[out[a]], s.Tasks[out[b]]
+		if ta.Load != tb.Load {
+			return ta.Load > tb.Load
+		}
+		if ta.ID.Array != tb.ID.Array {
+			return ta.ID.Array < tb.ID.Array
+		}
+		return ta.ID.Index < tb.ID.Index
+	})
+	return out
+}

@@ -1,0 +1,46 @@
+package experiment
+
+import (
+	"cloudlb/internal/stats"
+)
+
+// StrategyResult is one strategy's outcome on the standard interfered
+// workload.
+type StrategyResult struct {
+	Strategy   StrategyKind
+	Wall       float64
+	PenaltyPct float64
+	Migrations int
+	EnergyJ    float64
+}
+
+// CompareStrategies runs every given strategy on the same interfered
+// workload (penalties against each strategy's own interference-free
+// baseline, as in the paper) and returns the results in input order.
+func CompareStrategies(app AppKind, cores int, strategies []StrategyKind, seed int64, scale float64) []StrategyResult {
+	w := bgWeightFor(app)
+	iters := bgItersFor(app)
+	var out []StrategyResult
+	for _, k := range strategies {
+		base := Run(Scenario{App: app, Cores: cores, Strategy: k, BG: BGNone, Seed: seed, Scale: scale})
+		r := Run(Scenario{App: app, Cores: cores, Strategy: k, BG: BGWave2D,
+			Seed: seed, BGWeight: w, BGIters: iters, Scale: scale})
+		out = append(out, StrategyResult{
+			Strategy:   k,
+			Wall:       r.AppWall,
+			PenaltyPct: stats.TimingPenaltyPct(r.AppWall, base.AppWall),
+			Migrations: r.Migrations,
+			EnergyJ:    r.EnergyJ,
+		})
+	}
+	return out
+}
+
+// CompareTable renders a strategy comparison.
+func CompareTable(results []StrategyResult) *stats.Table {
+	t := stats.NewTable("strategy", "wall s", "penalty %", "migrations", "energy J")
+	for _, r := range results {
+		t.AddRow(r.Strategy.String(), r.Wall, r.PenaltyPct, r.Migrations, r.EnergyJ)
+	}
+	return t
+}

@@ -1,0 +1,49 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cloudlb/internal/charm"
+	"cloudlb/internal/interfere"
+	"cloudlb/internal/machine"
+	"cloudlb/internal/sim"
+	"cloudlb/internal/trace"
+	"cloudlb/internal/xnet"
+)
+
+func newNet(m *machine.Machine) *xnet.Network {
+	return xnet.New(m, xnet.DefaultConfig())
+}
+
+func newRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed*2654435761 + 12345))
+}
+
+func newAppRTS(m *machine.Machine, net *xnet.Network, cores []int, strat StrategyKind, rec *trace.Recorder) *charm.RTS {
+	return charm.NewRTS(charm.Config{
+		Machine: m, Net: net, Cores: cores,
+		Strategy: buildStrategy(strat, 0),
+		Trace:    rec,
+		Name:     "app",
+	})
+}
+
+func interfereHog(m *machine.Machine, coreID int, start, stop sim.Time, rec *trace.Recorder) *interfere.Hog {
+	return interfere.StartHog(m, interfere.HogConfig{
+		Core: coreID, Start: start, Stop: stop,
+		BurstCPU: 0.02, Trace: rec,
+	})
+}
+
+// mustFinish drives the engine until done() or the virtual deadline.
+func mustFinish(eng *sim.Engine, done func() bool, deadline sim.Time) {
+	for !done() && eng.Now() < deadline {
+		if err := eng.RunUntil(eng.Now() + 1); err != nil {
+			panic(err)
+		}
+	}
+	if !done() {
+		panic(fmt.Sprintf("experiment: simulation did not finish by t=%v", deadline))
+	}
+}

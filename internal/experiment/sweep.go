@@ -1,0 +1,53 @@
+package experiment
+
+import (
+	"fmt"
+
+	"cloudlb/internal/stats"
+)
+
+// SweepPoint is one cell of a design-parameter sensitivity sweep.
+type SweepPoint struct {
+	EpsilonFrac float64
+	SyncEvery   int
+	PenaltyPct  float64
+	Migrations  int
+	LBSteps     int
+}
+
+// SweepRefineParams maps RefineLB's two tunables — the tolerance ε (as a
+// fraction of T_avg) and the load balancing period — to timing penalty
+// and migration volume on the standard interfered workload. It quantifies
+// the design constraints documented in DESIGN.md: ε must stay below the
+// background-induced uplift of T_avg (~1/P), and the period trades
+// reaction latency against LB overhead.
+func SweepRefineParams(app AppKind, cores int, epsFracs []float64, periods []int, seed int64, scale float64) []SweepPoint {
+	base := Run(Scenario{App: app, Cores: cores, Strategy: Refine, BG: BGNone, Seed: seed, Scale: scale})
+	var out []SweepPoint
+	for _, eps := range epsFracs {
+		for _, period := range periods {
+			r := Run(Scenario{
+				App: app, Cores: cores, Strategy: Refine, BG: BGWave2D,
+				Seed: seed, BGWeight: bgWeightFor(app), BGIters: bgItersFor(app),
+				Scale: scale, EpsilonFrac: eps, SyncEvery: period,
+			})
+			out = append(out, SweepPoint{
+				EpsilonFrac: eps,
+				SyncEvery:   period,
+				PenaltyPct:  stats.TimingPenaltyPct(r.AppWall, base.AppWall),
+				Migrations:  r.Migrations,
+				LBSteps:     r.LBSteps,
+			})
+		}
+	}
+	return out
+}
+
+// SweepTable renders sweep results as a table.
+func SweepTable(points []SweepPoint) *stats.Table {
+	t := stats.NewTable("eps_frac", "sync_every", "penalty %", "migrations", "lb_steps")
+	for _, p := range points {
+		t.AddRow(fmt.Sprintf("%.3f", p.EpsilonFrac), p.SyncEvery, p.PenaltyPct, p.Migrations, p.LBSteps)
+	}
+	return t
+}

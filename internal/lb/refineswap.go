@@ -1,0 +1,166 @@
+package lb
+
+import (
+	"sort"
+
+	"cloudlb/internal/core"
+)
+
+// RefineSwapLB extends the paper's refinement with pairwise swaps, like
+// Charm++'s RefineSwapLB: after the plain refinement pass, overloaded
+// cores that could not donate (every single move would overload the
+// destination — the coarse-grain failure mode) try to *swap* one of
+// their heavy tasks against a lighter task of another core whenever the
+// exchange shrinks the pair's maximum load. Swaps move two objects for
+// one improvement, so they only run where refinement is stuck.
+type RefineSwapLB struct {
+	// Inner is the refinement configuration (epsilon etc.).
+	Inner core.RefineLB
+	// MaxSwaps bounds the number of swap pairs per LB step (default 8).
+	MaxSwaps int
+}
+
+// Name implements core.Strategy.
+func (r *RefineSwapLB) Name() string { return "RefineSwapLB" }
+
+// Plan implements core.Strategy.
+func (r *RefineSwapLB) Plan(s core.Stats) []core.Move {
+	moves := r.Inner.Plan(s)
+
+	// Apply the refinement moves to a working copy of the load state.
+	peIdx := make(map[int]int, len(s.Cores))
+	for i, c := range s.Cores {
+		peIdx[c.PE] = i
+	}
+	taskIdx := make(map[core.TaskID]int, len(s.Tasks))
+	for i, t := range s.Tasks {
+		taskIdx[t.ID] = i
+	}
+	loads, tasksOf := core.CoreLoads(s)
+	home := make([]int, len(s.Tasks)) // current core index per task
+	for i, t := range s.Tasks {
+		home[i] = peIdx[t.PE]
+	}
+	for _, m := range moves {
+		ti := taskIdx[m.Task]
+		from, to := home[ti], peIdx[m.To]
+		loads[from] -= s.Tasks[ti].Load
+		loads[to] += s.Tasks[ti].Load
+		tasksOf[from] = removeInt(tasksOf[from], ti)
+		tasksOf[to] = append(tasksOf[to], ti)
+		home[ti] = to
+	}
+
+	tavg := core.TAvg(s)
+	eps := r.Inner.Epsilon
+	if eps <= 0 {
+		frac := r.Inner.EpsilonFrac
+		if frac <= 0 {
+			frac = 0.05
+		}
+		eps = frac * tavg
+	}
+	maxSwaps := r.MaxSwaps
+	if maxSwaps <= 0 {
+		maxSwaps = 8
+	}
+
+	swapped := map[int]bool{} // tasks already moved or swapped
+	for _, m := range moves {
+		swapped[taskIdx[m.Task]] = true
+	}
+
+	for n := 0; n < maxSwaps; n++ {
+		// Find the most overloaded core still beyond tolerance.
+		donor := -1
+		for ci := range loads {
+			if loads[ci]-tavg > eps && (donor < 0 || loads[ci] > loads[donor]) {
+				donor = ci
+			}
+		}
+		if donor < 0 {
+			break
+		}
+		ti, tj, partner := r.bestSwap(s, loads, tasksOf, swapped, donor)
+		if ti < 0 {
+			break // no improving swap anywhere
+		}
+		di, dj := s.Tasks[ti].Load, s.Tasks[tj].Load
+		loads[donor] += dj - di
+		loads[partner] += di - dj
+		tasksOf[donor] = removeInt(tasksOf[donor], ti)
+		tasksOf[donor] = append(tasksOf[donor], tj)
+		tasksOf[partner] = removeInt(tasksOf[partner], tj)
+		tasksOf[partner] = append(tasksOf[partner], ti)
+		moves = append(moves,
+			core.Move{Task: s.Tasks[ti].ID, To: s.Cores[partner].PE},
+			core.Move{Task: s.Tasks[tj].ID, To: s.Cores[donor].PE},
+		)
+		swapped[ti] = true
+		swapped[tj] = true
+	}
+	return moves
+}
+
+// bestSwap finds the exchange between the donor and any other core that
+// most reduces the pair's maximum load. Returns (-1, -1, -1) if no
+// exchange improves.
+func (r *RefineSwapLB) bestSwap(s core.Stats, loads []float64, tasksOf [][]int, swapped map[int]bool, donor int) (ti, tj, partner int) {
+	ti, tj, partner = -1, -1, -1
+	bestMax := loads[donor]
+	donorTasks := ordered(s, tasksOf[donor])
+	for ci := range loads {
+		if ci == donor {
+			continue
+		}
+		for _, a := range donorTasks {
+			if swapped[a] {
+				continue
+			}
+			for _, b := range ordered(s, tasksOf[ci]) {
+				if swapped[b] {
+					continue
+				}
+				da, db := s.Tasks[a].Load, s.Tasks[b].Load
+				if db >= da {
+					continue // must shrink the donor
+				}
+				newDonor := loads[donor] - da + db
+				newOther := loads[ci] - db + da
+				m := newDonor
+				if newOther > m {
+					m = newOther
+				}
+				if m < bestMax-1e-12 {
+					bestMax = m
+					ti, tj, partner = a, b, ci
+				}
+			}
+		}
+	}
+	return ti, tj, partner
+}
+
+func ordered(s core.Stats, idx []int) []int {
+	out := append([]int(nil), idx...)
+	sort.Slice(out, func(a, b int) bool {
+		ta, tb := s.Tasks[out[a]], s.Tasks[out[b]]
+		if ta.Load != tb.Load {
+			return ta.Load > tb.Load
+		}
+		if ta.ID.Array != tb.ID.Array {
+			return ta.ID.Array < tb.ID.Array
+		}
+		return ta.ID.Index < tb.ID.Index
+	})
+	return out
+}
+
+func removeInt(list []int, v int) []int {
+	for i, x := range list {
+		if x == v {
+			return append(list[:i], list[i+1:]...)
+		}
+	}
+	return list
+}

@@ -1,0 +1,318 @@
+package machine
+
+import (
+	"fmt"
+	"math"
+
+	"cloudlb/internal/sim"
+)
+
+// workEpsilon is the relative slack used to decide that a job's remaining
+// CPU demand has been fully served, absorbing float rounding from repeated
+// proportional-share settlements.
+const workEpsilon = 1e-9
+
+// Core is a single CPU core scheduled with generalized processor sharing.
+type Core struct {
+	ID    int
+	node  *Node
+	m     *Machine
+	speed float64
+
+	active []*Thread // runnable threads currently sharing the core
+
+	lastSettle sim.Time
+	busy       sim.Time // cumulative time with >=1 runnable thread
+	idle       sim.Time // cumulative time with no runnable thread
+	nextDone   sim.EventID
+	hasNext    bool
+}
+
+// Node returns the node hosting this core.
+func (c *Core) Node() *Node { return c.node }
+
+// Speed returns the core's service rate in CPU-seconds per wall second.
+func (c *Core) Speed() float64 { return c.speed }
+
+// SetSpeed changes the core's service rate, e.g. to model heterogeneous or
+// throttled cores. The change takes effect from the current instant.
+func (c *Core) SetSpeed(s float64) {
+	if s <= 0 {
+		panic("machine: core speed must be positive")
+	}
+	c.settle()
+	c.speed = s
+	c.arm()
+}
+
+// NumRunnable reports how many threads currently share the core.
+func (c *Core) NumRunnable() int { return len(c.active) }
+
+// ProcStat returns cumulative busy and idle wall time for the core, as an
+// operating system would expose through /proc/stat. Callers diff successive
+// readings to measure intervals, as the paper does for Eq. 2.
+func (c *Core) ProcStat() (busy, idle sim.Time) {
+	c.settle()
+	return c.busy, c.idle
+}
+
+// Utilization returns the busy fraction of the core over [since, now]. It
+// is a convenience for power metering; since must not be in the future.
+func (c *Core) Utilization(busySince, since sim.Time) (busyNow sim.Time, util float64) {
+	c.settle()
+	now := c.m.eng.Now()
+	if now <= since {
+		return c.busy, 0
+	}
+	return c.busy, float64(c.busy-busySince) / float64(now-since)
+}
+
+// settle distributes CPU for the wall time elapsed since the last
+// settlement among the runnable threads, updating all accounting.
+func (c *Core) settle() {
+	now := c.m.eng.Now()
+	dt := now - c.lastSettle
+	c.lastSettle = now
+	if dt <= 0 {
+		return
+	}
+	if len(c.active) == 0 {
+		c.idle += dt
+		return
+	}
+	c.busy += dt
+	total := c.totalWeight()
+	for _, th := range c.active {
+		got := float64(dt) * c.speed * th.effWeight / total
+		th.remaining -= got
+		th.cpu += sim.Time(got)
+	}
+}
+
+func (c *Core) totalWeight() float64 {
+	t := 0.0
+	for _, th := range c.active {
+		t += th.effWeight
+	}
+	return t
+}
+
+// arm (re)schedules the next completion event from the current runnable
+// set. It never invokes completion callbacks itself: a thread that is
+// already done completes via an event at the current instant, so all
+// callbacks observe a consistent, fully-armed core.
+func (c *Core) arm() {
+	if c.hasNext {
+		c.m.eng.Cancel(c.nextDone)
+		c.hasNext = false
+	}
+	if len(c.active) == 0 {
+		return
+	}
+	total := c.totalWeight()
+	soonest := math.MaxFloat64
+	for _, th := range c.active {
+		rate := c.speed * th.effWeight / total
+		dt := th.remaining / rate
+		if dt < 0 {
+			dt = 0
+		}
+		if dt < soonest {
+			soonest = dt
+		}
+	}
+	c.nextDone = c.m.eng.After(sim.Time(soonest), c.onCompletion)
+	c.hasNext = true
+}
+
+// onCompletion fires when the earliest in-flight burst has been served.
+func (c *Core) onCompletion() {
+	c.hasNext = false
+	c.settle()
+	// Collect every thread whose demand is exhausted (ties complete
+	// together), remove them from the runnable set, re-arm, and only then
+	// run callbacks: a callback may immediately start new bursts here or
+	// on other cores, re-entering add/remove safely.
+	var done []*Thread
+	i := 0
+	for i < len(c.active) {
+		th := c.active[i]
+		if th.remaining <= th.demand*workEpsilon+1e-15 {
+			c.active = append(c.active[:i], c.active[i+1:]...)
+			done = append(done, th)
+			continue
+		}
+		i++
+	}
+	c.arm()
+	for _, th := range done {
+		th.finishBurst()
+	}
+}
+
+func (c *Core) add(th *Thread) {
+	c.settle()
+	c.active = append(c.active, th)
+	c.arm()
+}
+
+func (c *Core) remove(th *Thread) {
+	c.settle()
+	for i, a := range c.active {
+		if a == th {
+			c.active = append(c.active[:i], c.active[i+1:]...)
+			c.arm()
+			return
+		}
+	}
+	panic(fmt.Sprintf("machine: thread %q not on core %d", th.name, c.ID))
+}
+
+// Thread is a schedulable entity pinned to one core at a time. A thread
+// alternates between bursts (Run) and sleeps; while sleeping it consumes no
+// CPU and the core may be idle from the OS point of view.
+type Thread struct {
+	name   string
+	core   *Core
+	weight float64
+
+	running   bool
+	demand    float64 // CPU-seconds requested by the current burst
+	remaining float64
+	effWeight float64
+	onDone    func()
+
+	cpu sim.Time // cumulative CPU-seconds received
+	gen uint64   // burst generation, guards stale zero-demand completions
+
+	// Interactivity tracking: EMA of the fraction of recent wall time the
+	// thread spent sleeping, updated once per sleep->run transition.
+	sleepFrac  float64
+	burstStart sim.Time
+	sleepStart sim.Time
+	everRan    bool
+}
+
+// NewThread creates a sleeping thread pinned to core with the given base
+// weight. Weight must be positive.
+func (m *Machine) NewThread(name string, core *Core, weight float64) *Thread {
+	if weight <= 0 {
+		panic("machine: thread weight must be positive")
+	}
+	return &Thread{
+		name:       name,
+		core:       core,
+		weight:     weight,
+		sleepStart: m.eng.Now(),
+	}
+}
+
+// Name returns the thread's diagnostic name.
+func (t *Thread) Name() string { return t.name }
+
+// Core returns the core the thread is pinned to.
+func (t *Thread) Core() *Core { return t.core }
+
+// Running reports whether the thread has an in-flight burst.
+func (t *Thread) Running() bool { return t.running }
+
+// CPUTime returns the total CPU-seconds the thread has consumed. It settles
+// the core first so the reading is current.
+func (t *Thread) CPUTime() sim.Time {
+	if t.running {
+		t.core.settle()
+	}
+	return t.cpu
+}
+
+// SleepFraction returns the thread's smoothed recent sleep fraction, the
+// input to the scheduler's interactivity bonus.
+func (t *Thread) SleepFraction() float64 { return t.sleepFrac }
+
+// Run starts a CPU burst of demand CPU-seconds. onDone fires (as a
+// simulation event) when the burst has been fully served. A zero demand
+// completes at the current instant. Starting a burst while one is in flight
+// panics: threads are strictly sequential.
+func (t *Thread) Run(demand float64, onDone func()) {
+	if t.running {
+		panic(fmt.Sprintf("machine: thread %q already running", t.name))
+	}
+	if demand < 0 {
+		panic("machine: negative CPU demand")
+	}
+	eng := t.core.m.eng
+	now := eng.Now()
+	// Update the sleep-fraction EMA with the completed run/sleep cycle.
+	if t.everRan {
+		runDur := float64(t.sleepStart - t.burstStart)
+		sleepDur := float64(now - t.sleepStart)
+		if runDur+sleepDur > 0 {
+			frac := sleepDur / (runDur + sleepDur)
+			a := t.core.m.cfg.InteractivityAlpha
+			t.sleepFrac = a*frac + (1-a)*t.sleepFrac
+		}
+	}
+	t.burstStart = now
+	t.everRan = true
+	t.running = true
+	t.demand = demand
+	t.remaining = demand
+	t.onDone = onDone
+	t.effWeight = t.weight * (1 + t.core.m.cfg.InteractivityBonus*t.sleepFrac)
+	t.gen++
+	if demand == 0 {
+		// Complete via an event so callers observe uniform asynchrony. The
+		// generation guard discards the event if the burst was aborted (and
+		// possibly replaced) before it fires.
+		gen := t.gen
+		eng.After(0, func() {
+			if t.gen == gen && t.running {
+				t.finishBurst()
+			}
+		})
+		return
+	}
+	t.core.add(t)
+}
+
+func (t *Thread) finishBurst() {
+	t.running = false
+	t.remaining = 0
+	t.sleepStart = t.core.m.eng.Now()
+	if t.onDone != nil {
+		cb := t.onDone
+		t.onDone = nil
+		cb()
+	}
+}
+
+// Migrate re-pins a sleeping thread to another core. Migrating a running
+// thread panics; the runtime always drains a worker before moving it.
+func (t *Thread) Migrate(dst *Core) {
+	if t.running {
+		panic(fmt.Sprintf("machine: cannot migrate running thread %q", t.name))
+	}
+	t.core = dst
+}
+
+// Abort cancels an in-flight burst without firing its completion callback,
+// returning the CPU-seconds that had not yet been served. Aborting an idle
+// thread returns 0.
+func (t *Thread) Abort() float64 {
+	if !t.running {
+		return 0
+	}
+	t.gen++
+	if t.demand > 0 {
+		t.core.remove(t)
+	}
+	rem := t.remaining
+	if rem < 0 {
+		rem = 0
+	}
+	t.running = false
+	t.onDone = nil
+	t.remaining = 0
+	t.sleepStart = t.core.m.eng.Now()
+	return rem
+}

@@ -1,0 +1,83 @@
+package machine
+
+import (
+	"bufio"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// jiffiesPerSecond mirrors Linux's USER_HZ: /proc/stat counts in 10 ms
+// ticks.
+const jiffiesPerSecond = 100
+
+// ProcStatText renders the machine's CPU accounting in the format of
+// Linux's /proc/stat (an aggregate "cpu" line followed by per-core
+// "cpuN" lines with user and idle jiffies). The paper's scheme reads its
+// idle-time measurements from exactly this interface; tests use it to
+// verify that what a /proc/stat consumer would parse matches the
+// simulator's ground truth.
+func (m *Machine) ProcStatText() string {
+	var sb strings.Builder
+	var busySum, idleSum int64
+	lines := make([]string, 0, m.NumCores())
+	for _, c := range m.cores {
+		busy, idle := c.ProcStat()
+		bj := int64(float64(busy) * jiffiesPerSecond)
+		ij := int64(float64(idle) * jiffiesPerSecond)
+		busySum += bj
+		idleSum += ij
+		lines = append(lines, fmt.Sprintf("cpu%d %d 0 0 %d 0 0 0 0 0 0", c.ID, bj, ij))
+	}
+	sb.WriteString(fmt.Sprintf("cpu %d 0 0 %d 0 0 0 0 0 0\n", busySum, idleSum))
+	for _, l := range lines {
+		sb.WriteString(l)
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// CPUSample is one core's parsed /proc/stat reading, in seconds.
+type CPUSample struct {
+	Core       int // -1 for the aggregate "cpu" line
+	Busy, Idle float64
+}
+
+// ParseProcStat parses the format produced by ProcStatText (and by Linux
+// for the fields used here), returning one sample per line.
+func ParseProcStat(text string) ([]CPUSample, error) {
+	var out []CPUSample
+	sc := bufio.NewScanner(strings.NewReader(text))
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || !strings.HasPrefix(line, "cpu") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 5 {
+			return nil, fmt.Errorf("machine: short /proc/stat line %q", line)
+		}
+		core := -1
+		if len(fields[0]) > 3 {
+			n, err := strconv.Atoi(fields[0][3:])
+			if err != nil {
+				return nil, fmt.Errorf("machine: bad cpu id in %q", line)
+			}
+			core = n
+		}
+		user, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("machine: bad user jiffies in %q", line)
+		}
+		idle, err := strconv.ParseInt(fields[4], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("machine: bad idle jiffies in %q", line)
+		}
+		out = append(out, CPUSample{
+			Core: core,
+			Busy: float64(user) / jiffiesPerSecond,
+			Idle: float64(idle) / jiffiesPerSecond,
+		})
+	}
+	return out, sc.Err()
+}

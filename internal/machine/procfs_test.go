@@ -1,0 +1,83 @@
+package machine
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestProcStatTextMatchesGroundTruth(t *testing.T) {
+	eng, m := newTestMachine(1, 2)
+	th := m.NewThread("a", m.Core(0), 1)
+	th.Run(2, func() {})
+	if err := eng.RunUntil(5); err != nil {
+		t.Fatal(err)
+	}
+	text := m.ProcStatText()
+	samples, err := ParseProcStat(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 3 { // aggregate + 2 cores
+		t.Fatalf("%d samples, want 3:\n%s", len(samples), text)
+	}
+	agg := samples[0]
+	if agg.Core != -1 {
+		t.Fatal("first sample is not the aggregate line")
+	}
+	// Core 0: 2s busy, 3s idle; core 1: 0 busy, 5 idle. Jiffy resolution
+	// is 10ms.
+	c0, c1 := samples[1], samples[2]
+	if math.Abs(c0.Busy-2) > 0.011 || math.Abs(c0.Idle-3) > 0.011 {
+		t.Fatalf("core0 busy=%v idle=%v, want 2/3", c0.Busy, c0.Idle)
+	}
+	if c1.Busy != 0 || math.Abs(c1.Idle-5) > 0.011 {
+		t.Fatalf("core1 busy=%v idle=%v, want 0/5", c1.Busy, c1.Idle)
+	}
+	if math.Abs(agg.Busy-(c0.Busy+c1.Busy)) > 0.011 {
+		t.Fatalf("aggregate busy %v != sum %v", agg.Busy, c0.Busy+c1.Busy)
+	}
+}
+
+func TestParseProcStatRealLinuxShape(t *testing.T) {
+	// A line shaped like real /proc/stat output (extra fields present).
+	text := "cpu  123 0 456 78900 12 0 3 0 0 0\ncpu0 123 0 456 78900 12 0 3 0 0 0\n"
+	samples, err := ParseProcStat(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 2 || samples[0].Core != -1 || samples[1].Core != 0 {
+		t.Fatalf("parsed %+v", samples)
+	}
+	if samples[1].Busy != 1.23 || samples[1].Idle != 789 {
+		t.Fatalf("core0 busy=%v idle=%v", samples[1].Busy, samples[1].Idle)
+	}
+}
+
+func TestParseProcStatErrors(t *testing.T) {
+	bad := []string{
+		"cpu0 12",        // short line
+		"cpux 1 0 0 2 0", // bad id
+		"cpu0 x 0 0 2 0", // bad user
+		"cpu0 1 0 0 y 0", // bad idle
+	}
+	for _, text := range bad {
+		if _, err := ParseProcStat(text); err == nil {
+			t.Fatalf("no error for %q", text)
+		}
+	}
+}
+
+func TestParseProcStatSkipsNonCPULines(t *testing.T) {
+	text := "intr 12345\ncpu0 100 0 0 200 0 0 0 0 0 0\nctxt 99\n"
+	samples, err := ParseProcStat(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 1 || samples[0].Core != 0 {
+		t.Fatalf("parsed %+v", samples)
+	}
+	if !strings.Contains(text, "cpu0") {
+		t.Fatal("sanity")
+	}
+}

@@ -1,0 +1,153 @@
+// Package plot renders minimal, dependency-free SVG charts for the
+// figure-regeneration harness: grouped bar charts in the style of the
+// paper's Figure 2 (timing penalty vs cores) and dual-series charts for
+// Figure 4 (power and energy overhead).
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// Series is one bar group member (e.g. "noLB") with one value per
+// category (e.g. per core count).
+type Series struct {
+	Name   string
+	Values []float64
+	Color  string // any SVG color; defaults assigned if empty
+}
+
+// BarChart describes a grouped bar chart.
+type BarChart struct {
+	Title      string
+	YLabel     string
+	Categories []string // x-axis group labels (e.g. "4", "8", "16", "32")
+	Series     []Series
+	// Width and Height are the SVG pixel dimensions (defaults 640x360).
+	Width, Height int
+}
+
+var defaultColors = []string{"#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#b07aa1", "#76b7b2"}
+
+// Render writes the chart as a self-contained SVG document.
+func (c BarChart) Render(w io.Writer) error {
+	if len(c.Categories) == 0 || len(c.Series) == 0 {
+		return fmt.Errorf("plot: empty chart")
+	}
+	for _, s := range c.Series {
+		if len(s.Values) != len(c.Categories) {
+			return fmt.Errorf("plot: series %q has %d values for %d categories", s.Name, len(s.Values), len(c.Categories))
+		}
+	}
+	width, height := c.Width, c.Height
+	if width <= 0 {
+		width = 640
+	}
+	if height <= 0 {
+		height = 360
+	}
+	const (
+		left, right, top, bottom = 64, 16, 36, 44
+	)
+	plotW := float64(width - left - right)
+	plotH := float64(height - top - bottom)
+
+	maxV := 0.0
+	for _, s := range c.Series {
+		for _, v := range s.Values {
+			if !math.IsNaN(v) && v > maxV {
+				maxV = v
+			}
+		}
+	}
+	if maxV <= 0 {
+		maxV = 1
+	}
+	maxV = niceCeil(maxV)
+
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="sans-serif" font-size="11">`+"\n", width, height)
+	fmt.Fprintf(w, `<rect width="100%%" height="100%%" fill="white"/>`+"\n")
+	fmt.Fprintf(w, `<text x="%d" y="20" font-size="14" font-weight="bold">%s</text>`+"\n", left, xmlEscape(c.Title))
+
+	// Y axis with 5 gridlines.
+	for i := 0; i <= 5; i++ {
+		v := maxV * float64(i) / 5
+		y := float64(top) + plotH - plotH*float64(i)/5
+		fmt.Fprintf(w, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n", left, y, width-right, y)
+		fmt.Fprintf(w, `<text x="%d" y="%.1f" text-anchor="end">%.4g</text>`+"\n", left-6, y+4, v)
+	}
+	fmt.Fprintf(w, `<text x="14" y="%d" transform="rotate(-90 14 %d)" text-anchor="middle">%s</text>`+"\n",
+		top+int(plotH)/2, top+int(plotH)/2, xmlEscape(c.YLabel))
+
+	// Bars.
+	groupW := plotW / float64(len(c.Categories))
+	barW := groupW * 0.8 / float64(len(c.Series))
+	for gi, cat := range c.Categories {
+		gx := float64(left) + groupW*float64(gi)
+		for si, s := range c.Series {
+			v := s.Values[gi]
+			if math.IsNaN(v) || v < 0 {
+				v = 0
+			}
+			h := plotH * v / maxV
+			x := gx + groupW*0.1 + barW*float64(si)
+			y := float64(top) + plotH - h
+			fmt.Fprintf(w, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"><title>%s %s: %.2f</title></rect>`+"\n",
+				x, y, barW, h, seriesColor(s, si), xmlEscape(s.Name), xmlEscape(cat), s.Values[gi])
+		}
+		fmt.Fprintf(w, `<text x="%.1f" y="%d" text-anchor="middle">%s</text>`+"\n",
+			gx+groupW/2, height-bottom+16, xmlEscape(cat))
+	}
+
+	// Legend.
+	lx := left
+	ly := height - 14
+	for si, s := range c.Series {
+		fmt.Fprintf(w, `<rect x="%d" y="%d" width="10" height="10" fill="%s"/>`+"\n", lx, ly-9, seriesColor(s, si))
+		fmt.Fprintf(w, `<text x="%d" y="%d">%s</text>`+"\n", lx+14, ly, xmlEscape(s.Name))
+		lx += 14 + 8*len(s.Name) + 18
+	}
+	fmt.Fprintln(w, `</svg>`)
+	return nil
+}
+
+func seriesColor(s Series, i int) string {
+	if s.Color != "" {
+		return s.Color
+	}
+	return defaultColors[i%len(defaultColors)]
+}
+
+// niceCeil rounds up to a 1/2/2.5/5 x 10^k boundary for a clean axis.
+func niceCeil(v float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	mag := math.Pow(10, math.Floor(math.Log10(v)))
+	for _, m := range []float64{1, 2, 2.5, 5, 10} {
+		if v <= m*mag {
+			return m * mag
+		}
+	}
+	return 10 * mag
+}
+
+func xmlEscape(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch r {
+		case '<':
+			out = append(out, []rune("&lt;")...)
+		case '>':
+			out = append(out, []rune("&gt;")...)
+		case '&':
+			out = append(out, []rune("&amp;")...)
+		case '"':
+			out = append(out, []rune("&quot;")...)
+		default:
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,96 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func chart() BarChart {
+	return BarChart{
+		Title:      "Figure 2 (Wave2D)",
+		YLabel:     "timing penalty %",
+		Categories: []string{"4", "8"},
+		Series: []Series{
+			{Name: "noLB", Values: []float64{98.6, 98.5}},
+			{Name: "LB", Values: []float64{38.7, 23.7}},
+		},
+	}
+}
+
+func TestRenderProducesSVG(t *testing.T) {
+	var sb strings.Builder
+	if err := chart().Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "<svg") || !strings.Contains(out, "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	// 2 categories x 2 series = 4 bars plus 2 legend swatches.
+	if n := strings.Count(out, "<rect"); n < 7 {
+		t.Fatalf("only %d rects", n)
+	}
+	for _, want := range []string{"Figure 2 (Wave2D)", "timing penalty %", "noLB", "LB", ">4<", ">8<"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in output", want)
+		}
+	}
+}
+
+func TestRenderRejectsBadInput(t *testing.T) {
+	var sb strings.Builder
+	if err := (BarChart{}).Render(&sb); err == nil {
+		t.Fatal("empty chart accepted")
+	}
+	c := chart()
+	c.Series[0].Values = []float64{1}
+	if err := c.Render(&sb); err == nil {
+		t.Fatal("mismatched series length accepted")
+	}
+}
+
+func TestRenderHandlesNaN(t *testing.T) {
+	c := chart()
+	c.Series[1].Values = []float64{math.NaN(), 10}
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "NaN\"") {
+		t.Fatal("NaN leaked into geometry attributes")
+	}
+}
+
+func TestNiceCeil(t *testing.T) {
+	cases := map[float64]float64{
+		0.7: 1, 1.2: 2, 2.2: 2.5, 3: 5, 7: 10, 98.6: 100, 260: 500, 0: 1,
+	}
+	for in, want := range cases {
+		if got := niceCeil(in); math.Abs(got-want) > 1e-9 {
+			t.Fatalf("niceCeil(%v)=%v, want %v", in, got, want)
+		}
+	}
+}
+
+func TestXMLEscape(t *testing.T) {
+	if got := xmlEscape(`a<b>&"c`); got != "a&lt;b&gt;&amp;&quot;c" {
+		t.Fatalf("escape gave %q", got)
+	}
+}
+
+func TestCustomColorsAndSize(t *testing.T) {
+	c := chart()
+	c.Series[0].Color = "#123456"
+	c.Width, c.Height = 800, 400
+	var sb strings.Builder
+	if err := c.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "#123456") {
+		t.Fatal("custom color ignored")
+	}
+	if !strings.Contains(sb.String(), `width="800"`) {
+		t.Fatal("custom size ignored")
+	}
+}

@@ -1,0 +1,12 @@
+package projections_test
+
+import (
+	"fmt"
+
+	"cloudlb/internal/projections"
+)
+
+func ExampleSparkline() {
+	fmt.Println(projections.Sparkline([]float64{0.2, 0.4, 0.6, 0.8, 1.0}))
+	// Output: ▁▃▄▆█
+}

@@ -1,0 +1,172 @@
+// Package projections analyzes recorded timelines the way the Charm++
+// Projections tool (paper ref. [14]) does: per-chare execution
+// statistics, bucketed time profiles of core activity, and the classic
+// max/mean load imbalance metric over time. It consumes
+// trace.Recorder data and produces tables, sparklines and CSV-able rows.
+package projections
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"cloudlb/internal/sim"
+	"cloudlb/internal/trace"
+)
+
+// ChareStat summarizes one chare's entry executions.
+type ChareStat struct {
+	Label    string
+	Count    int
+	Total    float64 // summed wall seconds in entries
+	Max      float64 // longest single entry
+	Mean     float64
+	LastCore int
+}
+
+// ChareStats aggregates task segments per chare label, sorted by total
+// wall time (heaviest first) with label as tie-break.
+func ChareStats(rec *trace.Recorder) []ChareStat {
+	byLabel := map[string]*ChareStat{}
+	for _, s := range rec.Segments() {
+		if s.Kind != trace.KindTask {
+			continue
+		}
+		st, ok := byLabel[s.Label]
+		if !ok {
+			st = &ChareStat{Label: s.Label}
+			byLabel[s.Label] = st
+		}
+		d := float64(s.End - s.Start)
+		st.Count++
+		st.Total += d
+		if d > st.Max {
+			st.Max = d
+		}
+		st.LastCore = s.Core
+	}
+	out := make([]ChareStat, 0, len(byLabel))
+	for _, st := range byLabel {
+		if st.Count > 0 {
+			st.Mean = st.Total / float64(st.Count)
+		}
+		out = append(out, *st)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Total != out[j].Total {
+			return out[i].Total > out[j].Total
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
+// WriteChareStats renders the top-n chare statistics as a table.
+func WriteChareStats(w io.Writer, stats []ChareStat, n int) {
+	if n <= 0 || n > len(stats) {
+		n = len(stats)
+	}
+	fmt.Fprintf(w, "%-16s %8s %10s %10s %10s %5s\n", "chare", "entries", "total s", "mean ms", "max ms", "core")
+	for _, st := range stats[:n] {
+		fmt.Fprintf(w, "%-16s %8d %10.4f %10.3f %10.3f %5d\n",
+			st.Label, st.Count, st.Total, st.Mean*1000, st.Max*1000, st.LastCore)
+	}
+}
+
+// TimeProfile is core activity bucketed over time, aggregated across the
+// selected cores (the Projections "time profile" graph).
+type TimeProfile struct {
+	From, To sim.Time
+	Bucket   sim.Duration
+	// Task, Background, LB hold mean per-core utilization in [0,1] for
+	// each bucket.
+	Task, Background, LB []float64
+}
+
+// Profile buckets [from, to] into n slices and computes mean per-core
+// activity fractions for each.
+func Profile(rec *trace.Recorder, cores []int, from, to sim.Time, n int) TimeProfile {
+	if n <= 0 {
+		n = 60
+	}
+	tp := TimeProfile{From: from, To: to, Bucket: (to - from) / sim.Time(n)}
+	if to <= from || len(cores) == 0 {
+		return tp
+	}
+	for b := 0; b < n; b++ {
+		a := from + sim.Time(b)*tp.Bucket
+		z := a + tp.Bucket
+		var task, bg, lb float64
+		for _, c := range cores {
+			task += rec.BusyFraction(c, trace.KindTask, a, z)
+			bg += rec.BusyFraction(c, trace.KindBackground, a, z)
+			lb += rec.BusyFraction(c, trace.KindLB, a, z)
+		}
+		k := float64(len(cores))
+		tp.Task = append(tp.Task, task/k)
+		tp.Background = append(tp.Background, bg/k)
+		tp.LB = append(tp.LB, lb/k)
+	}
+	return tp
+}
+
+var sparkLevels = []rune(" ▁▂▃▄▅▆▇█")
+
+// Sparkline renders a [0,1] series as a unicode sparkline.
+func Sparkline(series []float64) string {
+	var sb strings.Builder
+	for _, v := range series {
+		if v < 0 {
+			v = 0
+		}
+		if v > 1 {
+			v = 1
+		}
+		idx := int(v * float64(len(sparkLevels)-1))
+		sb.WriteRune(sparkLevels[idx])
+	}
+	return sb.String()
+}
+
+// Write renders the profile as labeled sparklines.
+func (tp TimeProfile) Write(w io.Writer) {
+	fmt.Fprintf(w, "time profile %.3fs .. %.3fs (%d buckets of %.3fs)\n",
+		float64(tp.From), float64(tp.To), len(tp.Task), float64(tp.Bucket))
+	fmt.Fprintf(w, "task |%s|\n", Sparkline(tp.Task))
+	fmt.Fprintf(w, "bg   |%s|\n", Sparkline(tp.Background))
+	fmt.Fprintf(w, "lb   |%s|\n", Sparkline(tp.LB))
+}
+
+// Imbalance computes the classic load imbalance metric λ = max/mean of
+// per-core task activity for each time bucket; 1.0 is perfect balance,
+// and for an idle bucket the metric is reported as 0.
+func Imbalance(rec *trace.Recorder, cores []int, from, to sim.Time, n int) []float64 {
+	if n <= 0 {
+		n = 60
+	}
+	if to <= from || len(cores) == 0 {
+		return nil
+	}
+	bucket := (to - from) / sim.Time(n)
+	out := make([]float64, 0, n)
+	for b := 0; b < n; b++ {
+		a := from + sim.Time(b)*bucket
+		z := a + bucket
+		var max, sum float64
+		for _, c := range cores {
+			f := rec.BusyFraction(c, trace.KindTask, a, z)
+			sum += f
+			if f > max {
+				max = f
+			}
+		}
+		mean := sum / float64(len(cores))
+		if mean <= 0 {
+			out = append(out, 0)
+			continue
+		}
+		out = append(out, max/mean)
+	}
+	return out
+}

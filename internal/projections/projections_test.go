@@ -1,0 +1,126 @@
+package projections
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"cloudlb/internal/trace"
+)
+
+func rec3() *trace.Recorder {
+	r := trace.NewRecorder()
+	// chare a: two entries on core 0 (0.5s + 1.5s), chare b: one entry
+	// on core 1 (1.0s), background on core 1 later.
+	r.Add(trace.Segment{Core: 0, Start: 0, End: 0.5, Kind: trace.KindTask, Label: "a"})
+	r.Add(trace.Segment{Core: 0, Start: 1, End: 2.5, Kind: trace.KindTask, Label: "a"})
+	r.Add(trace.Segment{Core: 1, Start: 0, End: 1, Kind: trace.KindTask, Label: "b"})
+	r.Add(trace.Segment{Core: 1, Start: 2, End: 3, Kind: trace.KindBackground, Label: "hog"})
+	return r
+}
+
+func TestChareStats(t *testing.T) {
+	stats := ChareStats(rec3())
+	if len(stats) != 2 {
+		t.Fatalf("%d chares, want 2", len(stats))
+	}
+	a := stats[0]
+	if a.Label != "a" || a.Count != 2 || math.Abs(a.Total-2.0) > 1e-12 {
+		t.Fatalf("heaviest chare wrong: %+v", a)
+	}
+	if math.Abs(a.Max-1.5) > 1e-12 || math.Abs(a.Mean-1.0) > 1e-12 {
+		t.Fatalf("max/mean wrong: %+v", a)
+	}
+	if stats[1].Label != "b" {
+		t.Fatalf("order wrong: %+v", stats)
+	}
+}
+
+func TestChareStatsIgnoresNonTask(t *testing.T) {
+	stats := ChareStats(rec3())
+	for _, s := range stats {
+		if s.Label == "hog" {
+			t.Fatal("background segment counted as a chare")
+		}
+	}
+}
+
+func TestWriteChareStats(t *testing.T) {
+	var sb strings.Builder
+	WriteChareStats(&sb, ChareStats(rec3()), 1)
+	out := sb.String()
+	if !strings.Contains(out, "a") || strings.Contains(out, "\nb") {
+		t.Fatalf("top-1 table wrong:\n%s", out)
+	}
+}
+
+func TestProfileBuckets(t *testing.T) {
+	tp := Profile(rec3(), []int{0, 1}, 0, 3, 3)
+	if len(tp.Task) != 3 {
+		t.Fatalf("%d buckets", len(tp.Task))
+	}
+	// Bucket 0 ([0,1)): core0 task 0.5, core1 task 1.0 -> mean 0.75.
+	if math.Abs(tp.Task[0]-0.75) > 1e-9 {
+		t.Fatalf("bucket 0 task %v, want 0.75", tp.Task[0])
+	}
+	// Bucket 2 ([2,3)): core0 task 0.5, core1 bg 1.0.
+	if math.Abs(tp.Task[2]-0.25) > 1e-9 || math.Abs(tp.Background[2]-0.5) > 1e-9 {
+		t.Fatalf("bucket 2 task %v bg %v", tp.Task[2], tp.Background[2])
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	s := Sparkline([]float64{0, 0.5, 1, -1, 2})
+	if len([]rune(s)) != 5 {
+		t.Fatalf("sparkline %q", s)
+	}
+	runes := []rune(s)
+	if runes[0] != ' ' || runes[2] != '█' || runes[3] != ' ' || runes[4] != '█' {
+		t.Fatalf("sparkline %q levels wrong", s)
+	}
+}
+
+func TestProfileWrite(t *testing.T) {
+	var sb strings.Builder
+	Profile(rec3(), []int{0, 1}, 0, 3, 3).Write(&sb)
+	if !strings.Contains(sb.String(), "time profile") || !strings.Contains(sb.String(), "task |") {
+		t.Fatalf("profile output:\n%s", sb.String())
+	}
+}
+
+func TestImbalance(t *testing.T) {
+	// Bucket 0: cores busy 0.5 and 1.0 -> max/mean = 1.0/0.75 = 1.333.
+	im := Imbalance(rec3(), []int{0, 1}, 0, 3, 3)
+	if len(im) != 3 {
+		t.Fatalf("%d buckets", len(im))
+	}
+	if math.Abs(im[0]-4.0/3) > 1e-9 {
+		t.Fatalf("bucket 0 imbalance %v, want 1.333", im[0])
+	}
+	// Bucket 1 ([1,2)): only core 0 busy -> max/mean = 1/(0.5) = 2.
+	if math.Abs(im[1]-2) > 1e-9 {
+		t.Fatalf("bucket 1 imbalance %v, want 2", im[1])
+	}
+}
+
+func TestImbalanceIdleBucket(t *testing.T) {
+	r := trace.NewRecorder()
+	im := Imbalance(r, []int{0, 1}, 0, 1, 1)
+	if im[0] != 0 {
+		t.Fatalf("idle bucket imbalance %v, want 0", im[0])
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	r := trace.NewRecorder()
+	if got := Imbalance(r, nil, 0, 1, 4); got != nil {
+		t.Fatal("imbalance with no cores")
+	}
+	tp := Profile(r, nil, 0, 0, 4)
+	if len(tp.Task) != 0 {
+		t.Fatal("profile of empty window")
+	}
+	if stats := ChareStats(r); len(stats) != 0 {
+		t.Fatal("stats of empty recorder")
+	}
+}

@@ -1,0 +1,179 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All of the cluster, network, runtime and application models in this
+// repository are driven by a single Engine: virtual time only advances when
+// the engine dequeues the next scheduled event. Events scheduled for the
+// same instant fire in scheduling order (a monotone sequence number breaks
+// ties), so a simulation is exactly reproducible for identical inputs.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Time is a point in virtual time, in seconds since the start of the
+// simulation. Using float64 seconds keeps arithmetic on rates (CPU shares,
+// bandwidths) simple; determinism comes from performing the same float
+// operations in the same order on every run.
+type Time float64
+
+// Duration is a span of virtual time in seconds.
+type Duration = Time
+
+// Never is a sentinel Time that compares after every reachable instant.
+const Never Time = math.MaxFloat64
+
+type event struct {
+	at   Time
+	seq  uint64
+	fn   func()
+	dead bool
+}
+
+// EventID identifies a scheduled event so it can be cancelled.
+type EventID struct{ ev *event }
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation kernel. The zero value is not ready
+// to use; create engines with NewEngine.
+type Engine struct {
+	now     Time
+	seq     uint64
+	pending eventHeap
+	// executed counts events that have fired, for diagnostics and tests.
+	executed uint64
+	// limit aborts runaway simulations; 0 means no limit.
+	limit uint64
+}
+
+// NewEngine returns an engine at virtual time zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed reports how many events have fired so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// SetEventLimit makes Run fail after n events have fired (0 disables the
+// limit). It is a guard against accidentally divergent models.
+func (e *Engine) SetEventLimit(n uint64) { e.limit = n }
+
+// Pending reports the number of scheduled (not yet fired or cancelled)
+// events.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.pending {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// At schedules fn to run at virtual time t. Scheduling in the past panics:
+// it is always a model bug, and silently clamping would hide it.
+func (e *Engine) At(t Time, fn func()) EventID {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
+	}
+	ev := &event{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.pending, ev)
+	return EventID{ev}
+}
+
+// After schedules fn to run d seconds from now.
+func (e *Engine) After(d Duration, fn func()) EventID {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.At(e.now+d, fn)
+}
+
+// Cancel prevents a scheduled event from firing. Cancelling an event that
+// already fired (or was already cancelled) is a no-op.
+func (e *Engine) Cancel(id EventID) {
+	if id.ev != nil {
+		id.ev.dead = true
+	}
+}
+
+// Step fires the single next event. It reports false when no events remain.
+func (e *Engine) Step() bool {
+	for len(e.pending) > 0 {
+		ev := heap.Pop(&e.pending).(*event)
+		if ev.dead {
+			continue
+		}
+		e.now = ev.at
+		e.executed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until none remain. It returns an error if the configured
+// event limit is exceeded.
+func (e *Engine) Run() error {
+	for e.Step() {
+		if e.limit > 0 && e.executed > e.limit {
+			return fmt.Errorf("sim: event limit %d exceeded at t=%v", e.limit, e.now)
+		}
+	}
+	return nil
+}
+
+// RunUntil fires events with timestamps <= deadline, then advances the clock
+// to the deadline. Events scheduled beyond the deadline stay pending.
+func (e *Engine) RunUntil(deadline Time) error {
+	for {
+		ev := e.peek()
+		if ev == nil || ev.at > deadline {
+			break
+		}
+		e.Step()
+		if e.limit > 0 && e.executed > e.limit {
+			return fmt.Errorf("sim: event limit %d exceeded at t=%v", e.limit, e.now)
+		}
+	}
+	if deadline > e.now {
+		e.now = deadline
+	}
+	return nil
+}
+
+func (e *Engine) peek() *event {
+	for len(e.pending) > 0 {
+		if e.pending[0].dead {
+			heap.Pop(&e.pending)
+			continue
+		}
+		return e.pending[0]
+	}
+	return nil
+}

@@ -1,0 +1,275 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineStartsAtZero(t *testing.T) {
+	e := NewEngine()
+	if e.Now() != 0 {
+		t.Fatalf("new engine at t=%v, want 0", e.Now())
+	}
+	if e.Pending() != 0 {
+		t.Fatalf("new engine has %d pending events, want 0", e.Pending())
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := NewEngine()
+	var got []Time
+	for _, at := range []Time{5, 1, 3, 2, 4} {
+		at := at
+		e.At(at, func() { got = append(got, e.Now()) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{1, 2, 3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d fired at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSameTimeEventsFireInScheduleOrder(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(7, func() { order = append(order, i) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-broken order %v, want ascending schedule order", order)
+		}
+	}
+}
+
+func TestAfterSchedulesRelativeToNow(t *testing.T) {
+	e := NewEngine()
+	var at Time
+	e.At(10, func() {
+		e.After(5, func() { at = e.Now() })
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != 15 {
+		t.Fatalf("After(5) from t=10 fired at %v, want 15", at)
+	}
+}
+
+func TestCancelPreventsFiring(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	id := e.At(1, func() { fired = true })
+	e.Cancel(id)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if e.Now() != 0 {
+		t.Fatalf("clock advanced to %v over a cancelled event, want 0", e.Now())
+	}
+}
+
+func TestCancelAfterFireIsNoop(t *testing.T) {
+	e := NewEngine()
+	id := e.At(1, func() {})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	e.Cancel(id) // must not panic
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(10, func() {})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.At(5, func() {})
+}
+
+func TestNegativeAfterPanics(t *testing.T) {
+	e := NewEngine()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative After did not panic")
+		}
+	}()
+	e.After(-1, func() {})
+}
+
+func TestRunUntilLeavesLaterEventsPending(t *testing.T) {
+	e := NewEngine()
+	fired := map[Time]bool{}
+	for _, at := range []Time{1, 2, 3, 4} {
+		at := at
+		e.At(at, func() { fired[at] = true })
+	}
+	if err := e.RunUntil(2.5); err != nil {
+		t.Fatal(err)
+	}
+	if !fired[1] || !fired[2] || fired[3] || fired[4] {
+		t.Fatalf("fired=%v after RunUntil(2.5)", fired)
+	}
+	if e.Now() != 2.5 {
+		t.Fatalf("clock at %v after RunUntil(2.5)", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("%d pending, want 2", e.Pending())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired[3] || !fired[4] {
+		t.Fatal("later events lost after RunUntil")
+	}
+}
+
+func TestRunUntilAdvancesClockWithNoEvents(t *testing.T) {
+	e := NewEngine()
+	if err := e.RunUntil(42); err != nil {
+		t.Fatal(err)
+	}
+	if e.Now() != 42 {
+		t.Fatalf("clock at %v, want 42", e.Now())
+	}
+}
+
+func TestEventLimitAborts(t *testing.T) {
+	e := NewEngine()
+	e.SetEventLimit(10)
+	var loop func()
+	loop = func() { e.After(1, loop) }
+	e.After(1, loop)
+	if err := e.Run(); err == nil {
+		t.Fatal("runaway simulation did not hit the event limit")
+	}
+}
+
+func TestEventsScheduledDuringRunFire(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	e.At(1, func() {
+		e.At(2, func() { count++ })
+		e.At(1, func() { count++ }) // same instant as current event
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 2 {
+		t.Fatalf("count=%d, want 2", count)
+	}
+}
+
+func TestExecutedCounts(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.At(Time(i), func() {})
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Executed() != 5 {
+		t.Fatalf("executed=%d, want 5", e.Executed())
+	}
+}
+
+// Property: for any batch of event times, the engine fires them in
+// nondecreasing time order and ends at the max time.
+func TestQuickOrdering(t *testing.T) {
+	f := func(raw []uint16) bool {
+		e := NewEngine()
+		var fired []Time
+		for _, r := range raw {
+			at := Time(r) / 16
+			e.At(at, func() { fired = append(fired, e.Now()) })
+		}
+		if err := e.Run(); err != nil {
+			return false
+		}
+		if len(fired) != len(raw) {
+			return false
+		}
+		if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaving cancellations never disturbs ordering of survivors.
+func TestQuickCancelOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 100; trial++ {
+		e := NewEngine()
+		n := 1 + rng.Intn(50)
+		var fired []Time
+		ids := make([]EventID, n)
+		times := make([]Time, n)
+		for i := 0; i < n; i++ {
+			times[i] = Time(rng.Intn(100))
+			ids[i] = e.At(times[i], func() { fired = append(fired, e.Now()) })
+		}
+		cancelled := map[int]bool{}
+		for i := 0; i < n/3; i++ {
+			k := rng.Intn(n)
+			e.Cancel(ids[k])
+			cancelled[k] = true
+		}
+		if err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		want := 0
+		for i := 0; i < n; i++ {
+			if !cancelled[i] {
+				want++
+			}
+		}
+		if len(fired) != want {
+			t.Fatalf("trial %d: fired %d, want %d", trial, len(fired), want)
+		}
+		if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+			t.Fatalf("trial %d: out-of-order firing %v", trial, fired)
+		}
+	}
+}
+
+func BenchmarkEngineThroughput(b *testing.B) {
+	e := NewEngine()
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			e.After(1, tick)
+		}
+	}
+	e.After(1, tick)
+	b.ResetTimer()
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

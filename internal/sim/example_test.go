@@ -1,0 +1,23 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"cloudlb/internal/sim"
+)
+
+func ExampleEngine() {
+	eng := sim.NewEngine()
+	eng.At(2.0, func() { fmt.Println("second event at", eng.Now()) })
+	eng.At(1.0, func() {
+		fmt.Println("first event at", eng.Now())
+		eng.After(0.5, func() { fmt.Println("chained event at", eng.Now()) })
+	})
+	if err := eng.Run(); err != nil {
+		panic(err)
+	}
+	// Output:
+	// first event at 1
+	// chained event at 1.5
+	// second event at 2
+}

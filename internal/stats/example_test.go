@@ -1,0 +1,27 @@
+package stats_test
+
+import (
+	"fmt"
+	"os"
+
+	"cloudlb/internal/stats"
+)
+
+func ExampleTimingPenaltyPct() {
+	// An interfered run took 9.6 s; the same run without interference
+	// took 4.8 s.
+	fmt.Printf("%.0f%%\n", stats.TimingPenaltyPct(9.6, 4.8))
+	// Output: 100%
+}
+
+func ExampleTable() {
+	t := stats.NewTable("cores", "penalty %")
+	t.AddRow(4, 38.72)
+	t.AddRow(32, 17.19)
+	t.Write(os.Stdout)
+	// Output:
+	// cores  penalty %
+	// -----  ---------
+	// 4      38.72
+	// 32     17.19
+}

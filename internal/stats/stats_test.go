@@ -1,0 +1,130 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTimingPenalty(t *testing.T) {
+	if p := TimingPenaltyPct(2, 1); p != 100 {
+		t.Fatalf("penalty %v, want 100", p)
+	}
+	if p := TimingPenaltyPct(1, 1); p != 0 {
+		t.Fatalf("penalty %v, want 0", p)
+	}
+	if p := TimingPenaltyPct(0.5, 1); p != -50 {
+		t.Fatalf("penalty %v, want -50", p)
+	}
+	if !math.IsNaN(TimingPenaltyPct(1, 0)) {
+		t.Fatal("zero baseline did not yield NaN")
+	}
+}
+
+func TestEnergyOverhead(t *testing.T) {
+	if p := EnergyOverheadPct(150, 100); p != 50 {
+		t.Fatalf("overhead %v, want 50", p)
+	}
+	if !math.IsNaN(EnergyOverheadPct(1, 0)) {
+		t.Fatal("zero baseline did not yield NaN")
+	}
+}
+
+func TestMeanStddev(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if m := Mean(xs); m != 2.5 {
+		t.Fatalf("mean %v", m)
+	}
+	if s := Stddev(xs); math.Abs(s-1.2909944) > 1e-6 {
+		t.Fatalf("stddev %v", s)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Fatal("mean of empty not NaN")
+	}
+	if Stddev([]float64{1}) != 0 {
+		t.Fatal("stddev of single value not 0")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if Min(xs) != 1 || Max(xs) != 3 {
+		t.Fatalf("min/max %v %v", Min(xs), Max(xs))
+	}
+	if !math.IsNaN(Min(nil)) || !math.IsNaN(Max(nil)) {
+		t.Fatal("empty extrema not NaN")
+	}
+}
+
+func TestQuickMeanBounds(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		m := Mean(xs)
+		return m >= Min(xs)-1e-9 && m <= Max(xs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tab := NewTable("cores", "penalty %")
+	tab.AddRow(4, 99.555)
+	tab.AddRow(32, math.NaN())
+	out := tab.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines, want 4:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "cores") || !strings.Contains(lines[0], "penalty %") {
+		t.Fatalf("header wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "99.56") {
+		t.Fatalf("float not formatted to 2 places: %q", lines[2])
+	}
+	if !strings.Contains(lines[3], "-") {
+		t.Fatalf("NaN not rendered as dash: %q", lines[3])
+	}
+	if tab.NumRows() != 2 {
+		t.Fatalf("NumRows=%d", tab.NumRows())
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("a", "b")
+	tab.AddRow("plain", 1.5)
+	tab.AddRow(`has,comma`, `has"quote`)
+	var sb strings.Builder
+	if err := tab.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if lines[0] != "a,b" {
+		t.Fatalf("header %q", lines[0])
+	}
+	if lines[1] != "plain,1.50" {
+		t.Fatalf("row %q", lines[1])
+	}
+	if lines[2] != `"has,comma","has""quote"` {
+		t.Fatalf("escaped row %q", lines[2])
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tab := NewTable("a", "b")
+	tab.AddRow("xxxxxxxx", 1.0)
+	out := tab.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// The value column starts at the same offset in every row.
+	idx := strings.Index(lines[2], "1.00")
+	if idx < len("xxxxxxxx")+2-1 {
+		t.Fatalf("column not padded: %q", lines[2])
+	}
+}

@@ -1,0 +1,48 @@
+package trace
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format ("X" =
+// complete event), loadable in chrome://tracing and Perfetto.
+type chromeEvent struct {
+	Name     string            `json:"name"`
+	Category string            `json:"cat"`
+	Phase    string            `json:"ph"`
+	TS       float64           `json:"ts"`  // microseconds
+	Dur      float64           `json:"dur"` // microseconds
+	PID      int               `json:"pid"`
+	TID      int               `json:"tid"`
+	Args     map[string]string `json:"args,omitempty"`
+}
+
+// WriteChromeTrace exports the recorded segments as a Chrome trace-event
+// JSON array: each core becomes a thread row, task/background/LB segments
+// become complete events, and markers become instant events. The output
+// loads directly into chrome://tracing or ui.perfetto.dev.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	var events []chromeEvent
+	for _, s := range r.Segments() {
+		if s.Kind == KindMarker {
+			events = append(events, chromeEvent{
+				Name: s.Label, Category: "marker", Phase: "i",
+				TS: float64(s.Start) * 1e6, PID: 0, TID: s.Core,
+			})
+			continue
+		}
+		events = append(events, chromeEvent{
+			Name:     s.Label,
+			Category: s.Kind.String(),
+			Phase:    "X",
+			TS:       float64(s.Start) * 1e6,
+			Dur:      float64(s.End-s.Start) * 1e6,
+			PID:      0,
+			TID:      s.Core,
+			Args:     map[string]string{"kind": s.Kind.String()},
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(events)
+}

@@ -1,0 +1,96 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"cloudlb/internal/sim"
+)
+
+// UtilizationProfile summarizes a window into per-core fractions per
+// activity kind — the Projections "usage profile" view.
+type UtilizationProfile struct {
+	From, To sim.Time
+	// Rows are indexed by core ID; each row carries fractions in [0,1].
+	Rows []ProfileRow
+}
+
+// ProfileRow is one core's activity breakdown.
+type ProfileRow struct {
+	Core       int
+	Task       float64
+	Background float64
+	LB         float64
+	Idle       float64
+}
+
+// Profile computes the utilization profile of the given cores over
+// [from, to]. Overlapping segments of different kinds (a task entry
+// inflated by background CPU) are counted under each kind independently;
+// Idle is the fraction covered by no segment at all, so rows may sum to
+// more than 1 when activities overlap.
+func (r *Recorder) Profile(cores []int, from, to sim.Time) UtilizationProfile {
+	p := UtilizationProfile{From: from, To: to}
+	for _, c := range cores {
+		row := ProfileRow{
+			Core:       c,
+			Task:       r.BusyFraction(c, KindTask, from, to),
+			Background: r.BusyFraction(c, KindBackground, from, to),
+			LB:         r.BusyFraction(c, KindLB, from, to),
+		}
+		row.Idle = 1 - r.coveredFraction(c, from, to)
+		if row.Idle < 0 {
+			row.Idle = 0
+		}
+		p.Rows = append(p.Rows, row)
+	}
+	return p
+}
+
+// coveredFraction computes the fraction of [from, to] covered by the
+// union of the core's non-marker segments.
+func (r *Recorder) coveredFraction(coreID int, from, to sim.Time) float64 {
+	if to <= from {
+		return 0
+	}
+	type iv struct{ a, b sim.Time }
+	var ivs []iv
+	for _, s := range r.CoreSegments(coreID) {
+		if s.Kind == KindMarker || s.End <= from || s.Start >= to {
+			continue
+		}
+		a, b := s.Start, s.End
+		if a < from {
+			a = from
+		}
+		if b > to {
+			b = to
+		}
+		ivs = append(ivs, iv{a, b})
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].a < ivs[j].a })
+	var covered, end sim.Time
+	end = from
+	for _, v := range ivs {
+		if v.b <= end {
+			continue
+		}
+		if v.a > end {
+			end = v.a
+		}
+		covered += v.b - end
+		end = v.b
+	}
+	return float64(covered) / float64(to-from)
+}
+
+// Write renders the profile as an aligned text table.
+func (p UtilizationProfile) Write(w io.Writer) {
+	fmt.Fprintf(w, "utilization %.3fs .. %.3fs\n", float64(p.From), float64(p.To))
+	fmt.Fprintf(w, "core   task%%    bg%%    lb%%  idle%%\n")
+	for _, row := range p.Rows {
+		fmt.Fprintf(w, "%4d  %5.1f  %5.1f  %5.1f  %5.1f\n",
+			row.Core, row.Task*100, row.Background*100, row.LB*100, row.Idle*100)
+	}
+}

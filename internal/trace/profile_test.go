@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestProfileBreakdown(t *testing.T) {
+	r := NewRecorder()
+	// Core 0: task [0,4], background [2,6], nothing [6,10].
+	r.Add(Segment{Core: 0, Start: 0, End: 4, Kind: KindTask})
+	r.Add(Segment{Core: 0, Start: 2, End: 6, Kind: KindBackground})
+	p := r.Profile([]int{0, 1}, 0, 10)
+	row := p.Rows[0]
+	if math.Abs(row.Task-0.4) > 1e-12 {
+		t.Fatalf("task %v, want 0.4", row.Task)
+	}
+	if math.Abs(row.Background-0.4) > 1e-12 {
+		t.Fatalf("bg %v, want 0.4", row.Background)
+	}
+	// Union coverage is [0,6] = 0.6, so idle is 0.4.
+	if math.Abs(row.Idle-0.4) > 1e-12 {
+		t.Fatalf("idle %v, want 0.4", row.Idle)
+	}
+	// Core 1 is fully idle.
+	if p.Rows[1].Idle != 1 {
+		t.Fatalf("idle core reports %v", p.Rows[1].Idle)
+	}
+}
+
+func TestProfileOverlapDoesNotDoubleCountIdle(t *testing.T) {
+	r := NewRecorder()
+	// Two overlapping task segments covering [0,10] together.
+	r.Add(Segment{Core: 0, Start: 0, End: 7, Kind: KindTask})
+	r.Add(Segment{Core: 0, Start: 5, End: 10, Kind: KindTask})
+	p := r.Profile([]int{0}, 0, 10)
+	if p.Rows[0].Idle != 0 {
+		t.Fatalf("idle %v for fully covered core", p.Rows[0].Idle)
+	}
+}
+
+func TestProfileMarkersIgnored(t *testing.T) {
+	r := NewRecorder()
+	r.Mark(0, 5, "event")
+	p := r.Profile([]int{0}, 0, 10)
+	if p.Rows[0].Idle != 1 {
+		t.Fatalf("marker affected coverage: idle %v", p.Rows[0].Idle)
+	}
+}
+
+func TestProfileWrite(t *testing.T) {
+	r := NewRecorder()
+	r.Add(Segment{Core: 2, Start: 0, End: 5, Kind: KindTask})
+	var sb strings.Builder
+	r.Profile([]int{2}, 0, 10).Write(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "core") || !strings.Contains(out, "50.0") {
+		t.Fatalf("unexpected profile output:\n%s", out)
+	}
+}

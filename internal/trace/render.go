@@ -1,0 +1,126 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"cloudlb/internal/sim"
+)
+
+// RenderASCII draws one timeline row per core over [from, to], width
+// characters wide. Each cell shows the dominant activity during its time
+// slice: '#' task, 'b' background, 'L' load balancing, '.' idle. It is the
+// terminal analogue of the Projections timelines in Figures 1 and 3.
+func (r *Recorder) RenderASCII(w io.Writer, cores []int, from, to sim.Time, width int) {
+	if width <= 0 {
+		width = 80
+	}
+	if to <= from {
+		fmt.Fprintln(w, "(empty window)")
+		return
+	}
+	cell := (to - from) / sim.Time(width)
+	fmt.Fprintf(w, "timeline %.3fs .. %.3fs  ('#'=task 'b'=background 'L'=LB '.'=idle)\n", float64(from), float64(to))
+	for _, c := range cores {
+		segs := r.CoreSegments(c)
+		var sb strings.Builder
+		for i := 0; i < width; i++ {
+			a := from + sim.Time(i)*cell
+			b := a + cell
+			sb.WriteByte(dominantChar(segs, a, b))
+		}
+		fmt.Fprintf(w, "core %2d |%s|\n", c, sb.String())
+	}
+}
+
+func dominantChar(segs []Segment, a, b sim.Time) byte {
+	var task, bg, lb sim.Time
+	for _, s := range segs {
+		if s.End <= a || s.Start >= b || s.Kind == KindMarker {
+			continue
+		}
+		x, y := s.Start, s.End
+		if x < a {
+			x = a
+		}
+		if y > b {
+			y = b
+		}
+		switch s.Kind {
+		case KindTask:
+			task += y - x
+		case KindBackground:
+			bg += y - x
+		case KindLB:
+			lb += y - x
+		}
+	}
+	switch {
+	case task == 0 && bg == 0 && lb == 0:
+		return '.'
+	case task >= bg && task >= lb:
+		return '#'
+	case bg >= lb:
+		return 'b'
+	default:
+		return 'L'
+	}
+}
+
+// RenderSVG writes a simple self-contained SVG timeline for the given cores
+// over [from, to]. Tasks are colored per label hash, background load is
+// gray, LB phases are gold.
+func (r *Recorder) RenderSVG(w io.Writer, cores []int, from, to sim.Time, pxWidth int) {
+	if pxWidth <= 0 {
+		pxWidth = 900
+	}
+	rowH, gap, left := 22, 6, 70
+	height := len(cores)*(rowH+gap) + 40
+	scale := float64(pxWidth-left-10) / float64(to-from)
+	fmt.Fprintf(w, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="11">`+"\n", pxWidth, height)
+	fmt.Fprintf(w, `<rect width="100%%" height="100%%" fill="white"/>`+"\n")
+	for row, c := range cores {
+		y := 20 + row*(rowH+gap)
+		fmt.Fprintf(w, `<text x="4" y="%d">core %d</text>`+"\n", y+rowH-7, c)
+		fmt.Fprintf(w, `<rect x="%d" y="%d" width="%d" height="%d" fill="#f2f2f2"/>`+"\n", left, y, pxWidth-left-10, rowH)
+		for _, s := range r.CoreSegments(c) {
+			if s.End <= from || s.Start >= to || s.Kind == KindMarker {
+				continue
+			}
+			a, b := s.Start, s.End
+			if a < from {
+				a = from
+			}
+			if b > to {
+				b = to
+			}
+			x := left + int(float64(a-from)*scale)
+			wpx := int(float64(b-a) * scale)
+			if wpx < 1 {
+				wpx = 1
+			}
+			fmt.Fprintf(w, `<rect x="%d" y="%d" width="%d" height="%d" fill="%s"><title>%s %.4f-%.4f</title></rect>`+"\n",
+				x, y, wpx, rowH, segColor(s), s.Label, float64(s.Start), float64(s.End))
+		}
+	}
+	fmt.Fprintf(w, `<text x="%d" y="%d">%.3fs</text>`+"\n", left, height-8, float64(from))
+	fmt.Fprintf(w, `<text x="%d" y="%d" text-anchor="end">%.3fs</text>`+"\n", pxWidth-10, height-8, float64(to))
+	fmt.Fprintln(w, `</svg>`)
+}
+
+func segColor(s Segment) string {
+	switch s.Kind {
+	case KindBackground:
+		return "#9e9e9e"
+	case KindLB:
+		return "#e6b422"
+	}
+	// Stable pastel per label.
+	h := uint32(2166136261)
+	for i := 0; i < len(s.Label); i++ {
+		h = (h ^ uint32(s.Label[i])) * 16777619
+	}
+	palette := []string{"#4e79a7", "#f28e2b", "#59a14f", "#b07aa1", "#76b7b2", "#edc948", "#e15759", "#af7aa1", "#ff9da7", "#9c755f"}
+	return palette[h%uint32(len(palette))]
+}

@@ -1,0 +1,151 @@
+// Package trace records per-core timelines, in the spirit of the Charm++
+// Projections tool the paper uses for Figures 1 and 3.
+//
+// The runtime records a segment for every entry-method execution, the
+// interference generators record segments for background bursts, and the
+// load balancer records its synchronization phases. Renderers turn the
+// segments into ASCII timelines (for terminals and tests) or SVG (for
+// figure output).
+package trace
+
+import (
+	"sort"
+
+	"cloudlb/internal/sim"
+)
+
+// Kind classifies a timeline segment.
+type Kind int
+
+// Segment kinds.
+const (
+	// KindTask is an application entry-method execution.
+	KindTask Kind = iota
+	// KindBackground is CPU demand from an interfering job.
+	KindBackground
+	// KindLB is time a PE spent inside a load balancing step.
+	KindLB
+	// KindMarker is an instantaneous annotation (e.g. "BG job starts").
+	KindMarker
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindTask:
+		return "task"
+	case KindBackground:
+		return "background"
+	case KindLB:
+		return "lb"
+	case KindMarker:
+		return "marker"
+	}
+	return "unknown"
+}
+
+// Segment is one interval on one core's timeline.
+type Segment struct {
+	Core  int
+	Start sim.Time
+	End   sim.Time
+	Kind  Kind
+	// Label identifies the activity: chare ID for tasks, job name for
+	// background load.
+	Label string
+}
+
+// Recorder accumulates segments. A nil *Recorder is valid and records
+// nothing, so instrumented code never needs nil checks.
+type Recorder struct {
+	segs []Segment
+}
+
+// NewRecorder returns an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Add records a segment. Calls on a nil recorder are dropped.
+func (r *Recorder) Add(s Segment) {
+	if r == nil {
+		return
+	}
+	if s.End < s.Start {
+		s.Start, s.End = s.End, s.Start
+	}
+	r.segs = append(r.segs, s)
+}
+
+// Mark records an instantaneous annotation on a core's timeline.
+func (r *Recorder) Mark(core int, at sim.Time, label string) {
+	r.Add(Segment{Core: core, Start: at, End: at, Kind: KindMarker, Label: label})
+}
+
+// Segments returns all recorded segments sorted by (core, start).
+func (r *Recorder) Segments() []Segment {
+	if r == nil {
+		return nil
+	}
+	out := append([]Segment(nil), r.segs...)
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Core != out[j].Core {
+			return out[i].Core < out[j].Core
+		}
+		return out[i].Start < out[j].Start
+	})
+	return out
+}
+
+// CoreSegments returns the core's segments sorted by start time.
+func (r *Recorder) CoreSegments(coreID int) []Segment {
+	if r == nil {
+		return nil
+	}
+	var out []Segment
+	for _, s := range r.segs {
+		if s.Core == coreID {
+			out = append(out, s)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Window returns segments overlapping [from, to], clipped to the window.
+func (r *Recorder) Window(from, to sim.Time) []Segment {
+	var out []Segment
+	for _, s := range r.Segments() {
+		if s.End < from || s.Start > to {
+			continue
+		}
+		if s.Start < from {
+			s.Start = from
+		}
+		if s.End > to {
+			s.End = to
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// BusyFraction computes the fraction of [from, to] the core spent in
+// segments of the given kind.
+func (r *Recorder) BusyFraction(coreID int, kind Kind, from, to sim.Time) float64 {
+	if to <= from {
+		return 0
+	}
+	var busy sim.Time
+	for _, s := range r.CoreSegments(coreID) {
+		if s.Kind != kind || s.End <= from || s.Start >= to {
+			continue
+		}
+		a, b := s.Start, s.End
+		if a < from {
+			a = from
+		}
+		if b > to {
+			b = to
+		}
+		busy += b - a
+	}
+	return float64(busy) / float64(to-from)
+}

@@ -1,0 +1,121 @@
+// Package xnet models the cluster interconnect.
+//
+// Messages between cores experience a fixed per-message latency plus a
+// serialization delay of size/bandwidth. Transfers leaving a node share the
+// node's NIC: back-to-back sends from one node queue behind each other,
+// which is what makes bulk object migration visibly expensive in wall-clock
+// time, as the paper observes. Intra-node messages (shared memory) use a
+// separate, cheaper path and do not occupy the NIC.
+//
+// Delivery between any ordered pair of cores is in order: a message sent
+// earlier is never delivered later than one sent afterwards.
+package xnet
+
+import (
+	"fmt"
+
+	"cloudlb/internal/machine"
+	"cloudlb/internal/sim"
+)
+
+// Config holds the link parameters.
+type Config struct {
+	// IntraNodeLatency and IntraNodeBandwidth describe core-to-core
+	// transfers within a node (shared memory copy).
+	IntraNodeLatency   float64 // seconds
+	IntraNodeBandwidth float64 // bytes/second
+	// InterNodeLatency and InterNodeBandwidth describe transfers between
+	// nodes (the commodity Ethernet of a cloud data center).
+	InterNodeLatency   float64 // seconds
+	InterNodeBandwidth float64 // bytes/second
+}
+
+// DefaultConfig models commodity gigabit Ethernet between nodes and shared
+// memory within a node, roughly matching the class of testbed in the paper.
+func DefaultConfig() Config {
+	return Config{
+		IntraNodeLatency:   1e-6,
+		IntraNodeBandwidth: 5e9,
+		InterNodeLatency:   50e-6,
+		InterNodeBandwidth: 1.0e8, // ~1 Gb/s payload rate
+	}
+}
+
+// Network delivers messages between cores of one machine.
+type Network struct {
+	eng  *sim.Engine
+	mach *machine.Machine
+	cfg  Config
+
+	nicFree []sim.Time // per node: earliest time its NIC can start a new transfer
+	// lastArrival serializes delivery per (src,dst) core pair so in-order
+	// delivery holds even across the intra/inter path difference.
+	lastArrival map[[2]int]sim.Time
+
+	// Stats.
+	messages   uint64
+	bytesMoved uint64
+}
+
+// New creates a network over the machine's cores.
+func New(mach *machine.Machine, cfg Config) *Network {
+	if cfg.IntraNodeBandwidth <= 0 || cfg.InterNodeBandwidth <= 0 {
+		panic("xnet: bandwidths must be positive")
+	}
+	if cfg.IntraNodeLatency < 0 || cfg.InterNodeLatency < 0 {
+		panic("xnet: latencies must be nonnegative")
+	}
+	return &Network{
+		eng:         mach.Engine(),
+		mach:        mach,
+		cfg:         cfg,
+		nicFree:     make([]sim.Time, mach.NumNodes()),
+		lastArrival: make(map[[2]int]sim.Time),
+	}
+}
+
+// Config returns the link parameters.
+func (n *Network) Config() Config { return n.cfg }
+
+// Messages reports the number of messages sent so far.
+func (n *Network) Messages() uint64 { return n.messages }
+
+// BytesMoved reports the total payload bytes sent so far.
+func (n *Network) BytesMoved() uint64 { return n.bytesMoved }
+
+// Send schedules delivery of a message of the given payload size from
+// srcCore to dstCore and invokes deliver at the arrival instant.
+// It returns the arrival time.
+func (n *Network) Send(srcCore, dstCore, bytes int, deliver func()) sim.Time {
+	if bytes < 0 {
+		panic(fmt.Sprintf("xnet: negative message size %d", bytes))
+	}
+	now := n.eng.Now()
+	srcNode := n.mach.NodeOf(srcCore)
+	dstNode := n.mach.NodeOf(dstCore)
+
+	var arrival sim.Time
+	if srcNode == dstNode {
+		xfer := sim.Time(float64(bytes) / n.cfg.IntraNodeBandwidth)
+		arrival = now + sim.Time(n.cfg.IntraNodeLatency) + xfer
+	} else {
+		start := now
+		if n.nicFree[srcNode] > start {
+			start = n.nicFree[srcNode]
+		}
+		xfer := sim.Time(float64(bytes) / n.cfg.InterNodeBandwidth)
+		n.nicFree[srcNode] = start + xfer
+		arrival = start + xfer + sim.Time(n.cfg.InterNodeLatency)
+	}
+
+	key := [2]int{srcCore, dstCore}
+	if last := n.lastArrival[key]; arrival < last {
+		arrival = last
+	}
+	n.lastArrival[key] = arrival
+
+	n.messages++
+	n.bytesMoved += uint64(bytes)
+	n.eng.At(arrival, deliver)
+	return arrival
+}

@@ -1,0 +1,157 @@
+package xnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cloudlb/internal/machine"
+	"cloudlb/internal/sim"
+)
+
+const tol = 1e-9
+
+func testNet(t *testing.T, cfg Config) (*sim.Engine, *Network) {
+	t.Helper()
+	eng := sim.NewEngine()
+	m := machine.New(eng, machine.Config{Nodes: 2, CoresPerNode: 2, CoreSpeed: 1})
+	return eng, New(m, cfg)
+}
+
+func TestIntraNodeDelivery(t *testing.T) {
+	cfg := Config{IntraNodeLatency: 1e-3, IntraNodeBandwidth: 1e6, InterNodeLatency: 1, InterNodeBandwidth: 1}
+	eng, n := testNet(t, cfg)
+	var at sim.Time
+	arr := n.Send(0, 1, 1000, func() { at = eng.Now() })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := sim.Time(1e-3 + 1000/1e6)
+	if math.Abs(float64(at-want)) > tol || math.Abs(float64(arr-want)) > tol {
+		t.Fatalf("intra-node arrival %v (reported %v), want %v", at, arr, want)
+	}
+}
+
+func TestInterNodeDelivery(t *testing.T) {
+	cfg := Config{IntraNodeLatency: 0, IntraNodeBandwidth: 1, InterNodeLatency: 1e-3, InterNodeBandwidth: 1e6}
+	eng, n := testNet(t, cfg)
+	var at sim.Time
+	n.Send(0, 2, 500, func() { at = eng.Now() }) // cores 0 and 2 are on different nodes
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := sim.Time(500/1e6 + 1e-3)
+	if math.Abs(float64(at-want)) > tol {
+		t.Fatalf("inter-node arrival %v, want %v", at, want)
+	}
+}
+
+func TestNICSerializesInterNodeSends(t *testing.T) {
+	cfg := Config{InterNodeLatency: 0.01, InterNodeBandwidth: 1000, IntraNodeLatency: 0, IntraNodeBandwidth: 1}
+	eng, n := testNet(t, cfg)
+	var a1, a2 sim.Time
+	n.Send(0, 2, 1000, func() { a1 = eng.Now() }) // 1s transfer
+	n.Send(0, 3, 1000, func() { a2 = eng.Now() }) // queued behind the first
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(a1-1.01)) > tol {
+		t.Fatalf("first arrival %v, want 1.01", a1)
+	}
+	if math.Abs(float64(a2-2.01)) > tol {
+		t.Fatalf("second arrival %v, want 2.01 (NIC-serialized)", a2)
+	}
+}
+
+func TestIntraNodeDoesNotOccupyNIC(t *testing.T) {
+	cfg := Config{InterNodeLatency: 0, InterNodeBandwidth: 1000, IntraNodeLatency: 0, IntraNodeBandwidth: 1e9}
+	eng, n := testNet(t, cfg)
+	var inter sim.Time
+	n.Send(0, 1, 1<<20, func() {}) // big intra-node copy
+	n.Send(0, 2, 1000, func() { inter = eng.Now() })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(float64(inter-1.0)) > tol {
+		t.Fatalf("inter-node send delayed by intra-node copy: %v", inter)
+	}
+}
+
+func TestInOrderDeliveryPerPair(t *testing.T) {
+	// A big slow message followed by a small fast one between the same
+	// pair must not be overtaken.
+	cfg := Config{InterNodeLatency: 0.5, InterNodeBandwidth: 1000, IntraNodeLatency: 0, IntraNodeBandwidth: 1}
+	eng, n := testNet(t, cfg)
+	var order []int
+	n.Send(0, 2, 2000, func() { order = append(order, 1) })
+	n.Send(0, 2, 1, func() { order = append(order, 2) })
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != 1 || order[1] != 2 {
+		t.Fatalf("delivery order %v, want [1 2]", order)
+	}
+}
+
+func TestStatsCount(t *testing.T) {
+	eng, n := testNet(t, DefaultConfig())
+	n.Send(0, 1, 100, func() {})
+	n.Send(0, 2, 200, func() {})
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n.Messages() != 2 || n.BytesMoved() != 300 {
+		t.Fatalf("stats %d msgs %d bytes, want 2/300", n.Messages(), n.BytesMoved())
+	}
+}
+
+func TestNegativeSizePanics(t *testing.T) {
+	_, n := testNet(t, DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative size did not panic")
+		}
+	}()
+	n.Send(0, 1, -1, func() {})
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	eng := sim.NewEngine()
+	m := machine.New(eng, machine.Config{Nodes: 1, CoresPerNode: 1, CoreSpeed: 1})
+	bad := []Config{
+		{IntraNodeBandwidth: 0, InterNodeBandwidth: 1},
+		{IntraNodeBandwidth: 1, InterNodeBandwidth: 0},
+		{IntraNodeBandwidth: 1, InterNodeBandwidth: 1, IntraNodeLatency: -1},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("config %d did not panic", i)
+				}
+			}()
+			New(m, cfg)
+		}()
+	}
+}
+
+func TestArrivalNeverBeforeSend(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	eng, n := testNet(t, DefaultConfig())
+	for i := 0; i < 200; i++ {
+		src := rng.Intn(4)
+		dst := rng.Intn(4)
+		at := sim.Time(rng.Float64() * 10)
+		eng.At(at, func() {
+			sent := eng.Now()
+			n.Send(src, dst, rng.Intn(1<<16), func() {
+				if eng.Now() < sent {
+					t.Errorf("message delivered at %v before send at %v", eng.Now(), sent)
+				}
+			})
+		})
+	}
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
