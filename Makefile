@@ -1,0 +1,34 @@
+# Development entry points. `make check` is the CI gate: build, vet, the
+# full test suite, and the same suite under the race detector — the
+# scenario runner is the repo's first production concurrency, so every
+# change runs race-clean before it lands.
+
+GO ?= go
+
+.PHONY: build test vet race check bench benchjson figures
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+check: build vet test race
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Refresh the committed benchmark record (ns/op, allocs/op, events/sec).
+benchjson:
+	$(GO) run ./cmd/figures -benchjson BENCH_results.json
+
+# Regenerate the committed results/ tree (byte-identical at any -parallel).
+figures:
+	$(GO) run ./cmd/figures -fig all -cores 4,8,16,32 -seeds 3 -scale 1.0 \
+		-csv results -plots results -parallel 0 > results/figures_full.txt

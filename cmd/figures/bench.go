@@ -1,0 +1,172 @@
+package main
+
+import (
+	"container/heap"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"cloudlb/internal/experiment"
+	"cloudlb/internal/runner"
+	"cloudlb/internal/sim"
+)
+
+// The -benchjson mode measures the two layers this tool's runtime is made
+// of — the engine's per-event scheduling cost and a whole figure panel —
+// and writes the results as machine-readable JSON, so the performance
+// trajectory of the repository is recorded alongside the figures
+// themselves. The container/heap baseline replicates the engine's
+// pre-optimization event queue (interface{} boxing, one allocation per
+// scheduled event) for an in-place before/after comparison.
+
+type benchEntry struct {
+	Name         string  `json:"name"`
+	Iterations   int     `json:"iterations"`
+	NsPerOp      float64 `json:"ns_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	EventsPerSec float64 `json:"events_per_sec,omitempty"`
+}
+
+type benchReport struct {
+	GoMaxProcs int          `json:"go_max_procs"`
+	NumCPU     int          `json:"num_cpu"`
+	Workers    int          `json:"scenario_workers"`
+	Benchmarks []benchEntry `json:"benchmarks"`
+}
+
+// boxedEvent and boxedHeap reproduce the old event queue for the baseline
+// benchmark; the live engine no longer contains this code path.
+type boxedEvent struct {
+	at  sim.Time
+	seq uint64
+}
+
+type boxedHeap []*boxedEvent
+
+func (h boxedHeap) Len() int { return len(h) }
+func (h boxedHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h boxedHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *boxedHeap) Push(x interface{}) { *h = append(*h, x.(*boxedEvent)) }
+func (h *boxedHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+const benchQueueDepth = 256
+
+// benchEngineSchedule churns the live engine: schedule one event, fire one
+// event, with a steady queue of pending work. One op == one event.
+func benchEngineSchedule(b *testing.B) {
+	e := sim.NewEngine()
+	nop := func() {}
+	for i := 0; i < benchQueueDepth; i++ {
+		e.At(sim.Time(i), nop)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(sim.Duration(benchQueueDepth), nop)
+		e.Step()
+	}
+}
+
+// benchBoxedBaseline is the same churn against the pre-optimization
+// container/heap queue. One op == one event.
+func benchBoxedBaseline(b *testing.B) {
+	var h boxedHeap
+	for i := 0; i < benchQueueDepth; i++ {
+		heap.Push(&h, &boxedEvent{at: sim.Time(i * 7 % benchQueueDepth), seq: uint64(i)})
+	}
+	seq := uint64(benchQueueDepth)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := heap.Pop(&h).(*boxedEvent)
+		heap.Push(&h, &boxedEvent{at: ev.at + sim.Duration(benchQueueDepth), seq: seq})
+		seq++
+	}
+}
+
+// runBenchJSON runs the benchmark suite and writes the report to path.
+func runBenchJSON(path string, workers int) error {
+	report := benchReport{
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Workers:    workers,
+	}
+
+	engine := testing.Benchmark(benchEngineSchedule)
+	report.Benchmarks = append(report.Benchmarks, benchEntry{
+		Name:         "EngineSchedule",
+		Iterations:   engine.N,
+		NsPerOp:      float64(engine.NsPerOp()),
+		AllocsPerOp:  engine.AllocsPerOp(),
+		BytesPerOp:   engine.AllocedBytesPerOp(),
+		EventsPerSec: 1e9 / float64(engine.NsPerOp()),
+	})
+
+	boxed := testing.Benchmark(benchBoxedBaseline)
+	report.Benchmarks = append(report.Benchmarks, benchEntry{
+		Name:         "EventHeapBoxedBaseline",
+		Iterations:   boxed.N,
+		NsPerOp:      float64(boxed.NsPerOp()),
+		AllocsPerOp:  boxed.AllocsPerOp(),
+		BytesPerOp:   boxed.AllocedBytesPerOp(),
+		EventsPerSec: 1e9 / float64(boxed.NsPerOp()),
+	})
+
+	// A whole Figure 2(a) panel cell through the scenario pool: throughput
+	// here is simulated events per real second, the headline number the
+	// parallel runner exists to raise.
+	var panelEvents uint64
+	pool := &runner.Pool{Workers: workers}
+	batch := experiment.EvaluateScenarios(experiment.Jacobi2D, []int{4}, []int64{1}, 0.15)
+	panel := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, stats, err := pool.RunBatch(context.Background(), batch)
+			if err != nil {
+				b.Fatal(err)
+			}
+			panelEvents = stats.Events
+		}
+	})
+	report.Benchmarks = append(report.Benchmarks, benchEntry{
+		Name:         "Fig2aPanelCell",
+		Iterations:   panel.N,
+		NsPerOp:      float64(panel.NsPerOp()),
+		AllocsPerOp:  panel.AllocsPerOp(),
+		BytesPerOp:   panel.AllocedBytesPerOp(),
+		EventsPerSec: float64(panelEvents) / (float64(panel.NsPerOp()) / 1e9),
+	})
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	for _, e := range report.Benchmarks {
+		fmt.Fprintf(os.Stderr, "%-24s %12.1f ns/op %6d allocs/op", e.Name, e.NsPerOp, e.AllocsPerOp)
+		if e.EventsPerSec > 0 {
+			fmt.Fprintf(os.Stderr, " %14.0f events/s", e.EventsPerSec)
+		}
+		fmt.Fprintln(os.Stderr)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+	return nil
+}

@@ -11,16 +11,20 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
+	"time"
 
 	"cloudlb/internal/experiment"
 	"cloudlb/internal/plot"
+	"cloudlb/internal/runner"
 	"cloudlb/internal/sim"
 )
 
@@ -79,7 +83,17 @@ func main() {
 	csvDir := flag.String("csv", "", "also write per-panel CSV files (figures 2 and 4) into this directory")
 	plotDir := flag.String("plots", "", "also write per-panel SVG bar charts (figures 2 and 4) into this directory")
 	width := flag.Int("width", 100, "ASCII timeline width")
+	parallel := flag.Int("parallel", 0, "concurrent scenario workers (0 = GOMAXPROCS); any value produces identical output")
+	benchJSON := flag.String("benchjson", "", "run the engine and figure benchmarks, write JSON results to this path, and exit")
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON, *parallel); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	cores, err := parseCores(*coresFlag)
 	if err != nil {
@@ -89,6 +103,20 @@ func main() {
 	seeds := make([]int64, *seedN)
 	for i := range seeds {
 		seeds[i] = int64(i + 1)
+	}
+
+	// All scenario batches fan out over one pool; Ctrl-C cancels the batch
+	// in flight. The figure text on stdout is byte-identical at any worker
+	// count (results are slotted by batch index), so the committed results/
+	// tree regenerates exactly regardless of -parallel.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	pool := &runner.Pool{Workers: *parallel}
+	exec := pool.Executor()
+	start := time.Now()
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
 	}
 
 	apps := map[string]experiment.AppKind{
@@ -105,16 +133,22 @@ func main() {
 			fig3(*scale, *width, *svgPath)
 		case f == "compare":
 			fmt.Println("Strategy comparison (Wave2D, 8 cores, interfered):")
-			results := experiment.CompareStrategies(experiment.Wave2D, 8,
+			results, err := experiment.CompareStrategiesCtx(ctx, experiment.Wave2D, 8,
 				[]experiment.StrategyKind{experiment.NoLB, experiment.Refine, experiment.RefineInternal,
 					experiment.RefineSwap, experiment.Greedy, experiment.Threshold, experiment.CostAware},
-				1, *scale)
+				1, *scale, exec)
+			if err != nil {
+				fail(err)
+			}
 			experiment.CompareTable(results).Write(os.Stdout)
 			fmt.Println()
 		case f == "sweep":
 			fmt.Println("Sensitivity of RefineLB's design parameters (Wave2D, 8 cores):")
-			points := experiment.SweepRefineParams(experiment.Wave2D, 8,
-				[]float64{0.01, 0.02, 0.05, 0.1}, []int{5, 10, 20, 40}, 1, *scale)
+			points, err := experiment.SweepRefineParamsCtx(ctx, experiment.Wave2D, 8,
+				[]float64{0.01, 0.02, 0.05, 0.1}, []int{5, 10, 20, 40}, 1, *scale, exec)
+			if err != nil {
+				fail(err)
+			}
 			experiment.SweepTable(points).Write(os.Stdout)
 			fmt.Println()
 		case strings.HasPrefix(f, "2") || strings.HasPrefix(f, "4"):
@@ -129,7 +163,10 @@ func main() {
 				os.Exit(2)
 			}
 			for _, kind := range kinds {
-				evals := experiment.Evaluate(kind, cores, seeds, *scale)
+				evals, err := experiment.EvaluateCtx(ctx, kind, cores, seeds, *scale, exec)
+				if err != nil {
+					fail(err)
+				}
 				var tab interface {
 					Write(io.Writer)
 					WriteCSV(io.Writer) error
@@ -190,9 +227,17 @@ func main() {
 		for _, f := range []string{"1", "2a", "2b", "2c", "3", "4a", "4b", "4c", "sweep", "compare"} {
 			run(f)
 		}
-		return
+	} else {
+		run(*fig)
 	}
-	run(*fig)
+
+	// Perf summary on stderr: stdout is the byte-exact figure oracle and
+	// must not change with worker count or host speed.
+	wall, events, scenarios := pool.Totals()
+	if scenarios > 0 {
+		fmt.Fprintf(os.Stderr, "figures: %d scenarios, %d simulated events in %.2fs total wall-clock (%.3gM events/s, %d workers)\n",
+			scenarios, events, time.Since(start).Seconds(), float64(events)/wall.Seconds()/1e6, pool.WorkerCount())
+	}
 }
 
 func parseCores(s string) ([]int, error) {

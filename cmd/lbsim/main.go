@@ -1,22 +1,31 @@
-// Command lbsim runs a single load balancing scenario on the simulated
-// testbed and prints its measurements: wall time, background-job wall
-// time, power, energy, migrations and LB steps.
+// Command lbsim runs load balancing scenarios on the simulated testbed
+// and prints their measurements: wall time, background-job wall time,
+// power, energy, migrations and LB steps.
+//
+// A single run prints the full measurement block; -runs N fans N seeds
+// out over the scenario worker pool and prints one row per seed plus the
+// mean, which is how the paper's 3-run averages are produced.
 //
 // Usage:
 //
 //	lbsim -app wave2d -cores 8 -strategy refine -bg -seed 1
 //	lbsim -app mol3d -cores 16 -strategy greedy -bg -bgweight 4
 //	lbsim -app jacobi2d -cores 4 -strategy none
+//	lbsim -app wave2d -cores 8 -strategy refine -bg -runs 8 -parallel 4
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"strings"
 
 	"cloudlb/internal/experiment"
+	"cloudlb/internal/runner"
+	"cloudlb/internal/stats"
 	"cloudlb/internal/trace"
 )
 
@@ -29,8 +38,10 @@ func main() {
 	bgWeight := flag.Float64("bgweight", 1, "OS scheduling weight of the background job")
 	bgIters := flag.Int("bgiters", 0, "background job iterations (0 = default)")
 	seed := flag.Int64("seed", 1, "random seed (cost jitter, particle layout, BG start offset)")
+	runs := flag.Int("runs", 1, "number of seeds to run, starting at -seed")
+	parallel := flag.Int("parallel", 0, "concurrent scenario workers (0 = GOMAXPROCS)")
 	scale := flag.Float64("scale", 1.0, "iteration-count scale factor")
-	chromePath := flag.String("chrome", "", "write a Chrome trace-event JSON of the run to this path")
+	chromePath := flag.String("chrome", "", "write a Chrome trace-event JSON of the run to this path (single run only)")
 	hier := flag.Bool("hier", false, "use the hierarchical (tree) LB gather instead of the flat gather")
 	flag.Parse()
 
@@ -57,42 +68,79 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lbsim: unknown strategy %q\n", *strategy)
 		os.Exit(2)
 	}
+	if *runs < 1 {
+		fmt.Fprintln(os.Stderr, "lbsim: -runs must be at least 1")
+		os.Exit(2)
+	}
+	if *chromePath != "" && *runs != 1 {
+		fmt.Fprintln(os.Stderr, "lbsim: -chrome requires a single run")
+		os.Exit(2)
+	}
 
-	s := experiment.Scenario{
+	proto := experiment.Scenario{
 		App:          appKind,
 		Cores:        *cores,
 		Strategy:     stratKind,
-		Seed:         *seed,
 		BGWeight:     *bgWeight,
 		BGIters:      *bgIters,
 		Scale:        *scale,
 		Hierarchical: *hier,
-	}
-	var rec *trace.Recorder
-	if *chromePath != "" {
-		rec = trace.NewRecorder()
-		s.Trace = rec
 	}
 	switch {
 	case *bg && *churn:
 		fmt.Fprintln(os.Stderr, "lbsim: -bg and -churn are mutually exclusive")
 		os.Exit(2)
 	case *bg:
-		s.BG = experiment.BGWave2D
+		proto.BG = experiment.BGWave2D
 	case *churn:
-		s.BG = experiment.BGCloudChurn
+		proto.BG = experiment.BGCloudChurn
 	}
-	res := experiment.Run(s)
 
-	fmt.Printf("app:            %v on %d cores, strategy %v, seed %d\n", appKind, *cores, stratKind, *seed)
-	fmt.Printf("wall time:      %.3f s\n", res.AppWall)
-	if !math.IsNaN(res.BGWall) {
-		fmt.Printf("bg wall time:   %.3f s (weight %.1f)\n", res.BGWall, *bgWeight)
+	var rec *trace.Recorder
+	batch := make([]experiment.Scenario, *runs)
+	for i := range batch {
+		batch[i] = proto
+		batch[i].Seed = *seed + int64(i)
 	}
-	fmt.Printf("avg power:      %.1f W over the application's nodes\n", res.AvgPowerW)
-	fmt.Printf("energy:         %.1f J\n", res.EnergyJ)
-	fmt.Printf("LB steps:       %d\n", res.LBSteps)
-	fmt.Printf("migrations:     %d\n", res.Migrations)
+	if *chromePath != "" {
+		rec = trace.NewRecorder()
+		batch[0].Trace = rec
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	pool := &runner.Pool{Workers: *parallel}
+	results, batchStats, err := pool.RunBatch(ctx, batch)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbsim:", err)
+		os.Exit(1)
+	}
+
+	if *runs == 1 {
+		res := results[0]
+		fmt.Printf("app:            %v on %d cores, strategy %v, seed %d\n", appKind, *cores, stratKind, *seed)
+		fmt.Printf("wall time:      %.3f s\n", res.AppWall)
+		if !math.IsNaN(res.BGWall) {
+			fmt.Printf("bg wall time:   %.3f s (weight %.1f)\n", res.BGWall, *bgWeight)
+		}
+		fmt.Printf("avg power:      %.1f W over the application's nodes\n", res.AvgPowerW)
+		fmt.Printf("energy:         %.1f J\n", res.EnergyJ)
+		fmt.Printf("LB steps:       %d\n", res.LBSteps)
+		fmt.Printf("migrations:     %d\n", res.Migrations)
+	} else {
+		fmt.Printf("app: %v on %d cores, strategy %v, seeds %d..%d\n",
+			appKind, *cores, stratKind, *seed, *seed+int64(*runs)-1)
+		tab := stats.NewTable("seed", "wall s", "bg wall s", "power W", "energy J", "migrations")
+		var walls []float64
+		for i, r := range results {
+			tab.AddRow(*seed+int64(i), r.AppWall, r.BGWall, r.AvgPowerW, r.EnergyJ, r.Migrations)
+			walls = append(walls, r.AppWall)
+		}
+		tab.Write(os.Stdout)
+		fmt.Printf("mean wall time: %.3f s over %d seeds\n", stats.Mean(walls), *runs)
+	}
+	fmt.Fprintf(os.Stderr, "lbsim: %d simulated events in %.3fs wall-clock (%.3gM events/s, %d workers)\n",
+		batchStats.Events, batchStats.Wall.Seconds(), batchStats.EventsPerSec()/1e6, pool.WorkerCount())
 
 	if *chromePath != "" {
 		f, err := os.Create(*chromePath)

@@ -21,6 +21,8 @@
 //	internal/projections Projections-style analysis (profiles, imbalance)
 //	internal/plot        SVG bar charts for regenerated figures
 //	internal/experiment  the paper's full evaluation harness
+//	internal/runner      bounded worker pool running scenario batches in
+//	                     parallel with deterministic result ordering
 //	internal/stats       penalties, energy overheads, tables
 //
 // The benchmarks in bench_test.go regenerate the data behind every

@@ -1,0 +1,24 @@
+package experiment
+
+import "context"
+
+// Executor runs a batch of scenarios and returns their results in batch
+// order: results[i] must be exactly Run(batch[i]). The evaluation
+// functions below describe their whole measurement matrix as one batch and
+// leave the execution policy — sequential on the calling goroutine, or
+// fanned out over a worker pool (internal/runner) — to the executor, so
+// the assembled figures are identical either way.
+type Executor func(ctx context.Context, batch []Scenario) ([]Result, error)
+
+// RunAll is the sequential Executor: scenarios run in order on the calling
+// goroutine, stopping early if ctx is cancelled.
+func RunAll(ctx context.Context, batch []Scenario) ([]Result, error) {
+	out := make([]Result, len(batch))
+	for i, s := range batch {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		out[i] = Run(s)
+	}
+	return out, nil
+}

@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"context"
+
 	"cloudlb/internal/stats"
 )
 
@@ -14,17 +16,43 @@ type StrategyResult struct {
 	EnergyJ    float64
 }
 
+// CompareScenarios lists the comparison's batch: for each strategy, its
+// interference-free baseline followed by its interfered run.
+func CompareScenarios(app AppKind, cores int, strategies []StrategyKind, seed int64, scale float64) []Scenario {
+	w := bgWeightFor(app)
+	iters := bgItersFor(app)
+	batch := make([]Scenario, 0, 2*len(strategies))
+	for _, k := range strategies {
+		batch = append(batch,
+			Scenario{App: app, Cores: cores, Strategy: k, BG: BGNone, Seed: seed, Scale: scale},
+			Scenario{App: app, Cores: cores, Strategy: k, BG: BGWave2D,
+				Seed: seed, BGWeight: w, BGIters: iters, Scale: scale},
+		)
+	}
+	return batch
+}
+
 // CompareStrategies runs every given strategy on the same interfered
 // workload (penalties against each strategy's own interference-free
 // baseline, as in the paper) and returns the results in input order.
 func CompareStrategies(app AppKind, cores int, strategies []StrategyKind, seed int64, scale float64) []StrategyResult {
-	w := bgWeightFor(app)
-	iters := bgItersFor(app)
+	out, err := CompareStrategiesCtx(context.Background(), app, cores, strategies, seed, scale, RunAll)
+	if err != nil {
+		panic(err) // unreachable: RunAll under a background context cannot fail
+	}
+	return out
+}
+
+// CompareStrategiesCtx is CompareStrategies with the batch dispatched
+// through exec.
+func CompareStrategiesCtx(ctx context.Context, app AppKind, cores int, strategies []StrategyKind, seed int64, scale float64, exec Executor) ([]StrategyResult, error) {
+	results, err := exec(ctx, CompareScenarios(app, cores, strategies, seed, scale))
+	if err != nil {
+		return nil, err
+	}
 	var out []StrategyResult
-	for _, k := range strategies {
-		base := Run(Scenario{App: app, Cores: cores, Strategy: k, BG: BGNone, Seed: seed, Scale: scale})
-		r := Run(Scenario{App: app, Cores: cores, Strategy: k, BG: BGWave2D,
-			Seed: seed, BGWeight: w, BGIters: iters, Scale: scale})
+	for i, k := range strategies {
+		base, r := results[2*i], results[2*i+1]
 		out = append(out, StrategyResult{
 			Strategy:   k,
 			Wall:       r.AppWall,
@@ -33,7 +61,7 @@ func CompareStrategies(app AppKind, cores int, strategies []StrategyKind, seed i
 			EnergyJ:    r.EnergyJ,
 		})
 	}
-	return out
+	return out, nil
 }
 
 // CompareTable renders a strategy comparison.

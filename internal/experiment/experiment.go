@@ -175,6 +175,9 @@ type Result struct {
 	// Migrations and LBSteps count the strategy's activity.
 	Migrations int
 	LBSteps    int
+	// Events is the number of simulation events the run executed — the
+	// engine-level work metric behind throughput reporting.
+	Events uint64
 }
 
 // testbed returns the paper's machine shape.
@@ -317,6 +320,7 @@ func Run(s Scenario) Result {
 	}
 	res.AvgPowerW = meter.AveragePowerWatts()
 	res.EnergyJ = meter.EnergyJoules()
+	res.Events = eng.Executed()
 	return res
 }
 

@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"context"
+
 	"cloudlb/internal/sim"
 	"cloudlb/internal/stats"
 	"cloudlb/internal/trace"
@@ -59,39 +61,81 @@ func bgItersFor(app AppKind) int {
 	return 600
 }
 
+// evalRunsPerCell is the number of scenarios behind one (core count, seed)
+// cell of the Figure 2 / Figure 4 matrix, in EvaluateScenarios order:
+// interference-free noLB, interference-free RefineLB, background alone,
+// interfered noLB, interfered RefineLB.
+const evalRunsPerCell = 5
+
+// EvaluateScenarios lists the full measurement matrix behind Evaluate as a
+// flat batch: for each core count, for each seed, the evalRunsPerCell runs
+// of that cell. The flat order is the contract between EvaluateCtx and its
+// Executor — results must come back slotted to the same indices.
+func EvaluateScenarios(app AppKind, coreCounts []int, seeds []int64, scale float64) []Scenario {
+	w := bgWeightFor(app)
+	iters := bgItersFor(app)
+	batch := make([]Scenario, 0, len(coreCounts)*len(seeds)*evalRunsPerCell)
+	for _, cores := range coreCounts {
+		for _, seed := range seeds {
+			batch = append(batch,
+				Scenario{App: app, Cores: cores, Strategy: NoLB, BG: BGNone, Seed: seed, Scale: scale},
+				Scenario{App: app, Cores: cores, Strategy: Refine, BG: BGNone, Seed: seed, Scale: scale},
+				Scenario{App: AppNone, Cores: cores, BG: BGWave2D, Seed: seed, BGIters: iters, Scale: scale},
+				Scenario{App: app, Cores: cores, Strategy: NoLB, BG: BGWave2D, Seed: seed, BGWeight: w, BGIters: iters, Scale: scale},
+				Scenario{App: app, Cores: cores, Strategy: Refine, BG: BGWave2D, Seed: seed, BGWeight: w, BGIters: iters, Scale: scale},
+			)
+		}
+	}
+	return batch
+}
+
 // Evaluate runs the full Figure 2 + Figure 4 measurement matrix for one
 // application: base run, background-alone run, interfered noLB run and
-// interfered RefineLB run, for every core count, averaged over seeds.
+// interfered RefineLB run, for every core count, averaged over seeds. It
+// runs sequentially; EvaluateCtx accepts an Executor for parallel runs.
 func Evaluate(app AppKind, coreCounts []int, seeds []int64, scale float64) []Eval {
+	evals, err := EvaluateCtx(context.Background(), app, coreCounts, seeds, scale, RunAll)
+	if err != nil {
+		panic(err) // unreachable: RunAll under a background context cannot fail
+	}
+	return evals
+}
+
+// EvaluateCtx is Evaluate with the batch dispatched through exec. The
+// assembled rows are identical for every executor and worker count: the
+// per-seed measurement slices are rebuilt in batch order before averaging,
+// so every float is accumulated in the same order as a sequential run.
+func EvaluateCtx(ctx context.Context, app AppKind, coreCounts []int, seeds []int64, scale float64, exec Executor) ([]Eval, error) {
+	results, err := exec(ctx, EvaluateScenarios(app, coreCounts, seeds, scale))
+	if err != nil {
+		return nil, err
+	}
 	var out []Eval
-	for _, cores := range coreCounts {
+	for ci, cores := range coreCounts {
 		var baseNoW, baseNoE, baseNoP []float64
 		var baseLbW, baseLbE []float64
 		var bgBaseW []float64
 		var noLBW, noLBBG, noLBE, noLBP []float64
 		var lbW, lbBG, lbE, lbP []float64
 		var migs, steps []float64
-		w := bgWeightFor(app)
-		for _, seed := range seeds {
-			baseNo := Run(Scenario{App: app, Cores: cores, Strategy: NoLB, BG: BGNone, Seed: seed, Scale: scale})
+		for si := range seeds {
+			cell := results[(ci*len(seeds)+si)*evalRunsPerCell:]
+			baseNo, baseLb, bgBase, no, lbr := cell[0], cell[1], cell[2], cell[3], cell[4]
+
 			baseNoW = append(baseNoW, baseNo.AppWall)
 			baseNoE = append(baseNoE, baseNo.EnergyJ)
 			baseNoP = append(baseNoP, baseNo.AvgPowerW)
 
-			baseLb := Run(Scenario{App: app, Cores: cores, Strategy: Refine, BG: BGNone, Seed: seed, Scale: scale})
 			baseLbW = append(baseLbW, baseLb.AppWall)
 			baseLbE = append(baseLbE, baseLb.EnergyJ)
 
-			bgBase := Run(Scenario{App: AppNone, Cores: cores, BG: BGWave2D, Seed: seed, BGIters: bgItersFor(app), Scale: scale})
 			bgBaseW = append(bgBaseW, bgBase.BGWall)
 
-			no := Run(Scenario{App: app, Cores: cores, Strategy: NoLB, BG: BGWave2D, Seed: seed, BGWeight: w, BGIters: bgItersFor(app), Scale: scale})
 			noLBW = append(noLBW, no.AppWall)
 			noLBBG = append(noLBBG, no.BGWall)
 			noLBE = append(noLBE, no.EnergyJ)
 			noLBP = append(noLBP, no.AvgPowerW)
 
-			lbr := Run(Scenario{App: app, Cores: cores, Strategy: Refine, BG: BGWave2D, Seed: seed, BGWeight: w, BGIters: bgItersFor(app), Scale: scale})
 			lbW = append(lbW, lbr.AppWall)
 			lbBG = append(lbBG, lbr.BGWall)
 			lbE = append(lbE, lbr.EnergyJ)
@@ -118,7 +162,7 @@ func Evaluate(app AppKind, coreCounts []int, seeds []int64, scale float64) []Eva
 		}
 		out = append(out, e)
 	}
-	return out
+	return out, nil
 }
 
 // Fig2Table renders Figure 2 for one application: timing penalty versus

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"cloudlb/internal/stats"
@@ -15,6 +16,23 @@ type SweepPoint struct {
 	LBSteps     int
 }
 
+// SweepScenarios lists the sweep's batch: the interference-free baseline
+// first, then one interfered run per (epsilon, period) cell in grid order.
+func SweepScenarios(app AppKind, cores int, epsFracs []float64, periods []int, seed int64, scale float64) []Scenario {
+	batch := make([]Scenario, 0, 1+len(epsFracs)*len(periods))
+	batch = append(batch, Scenario{App: app, Cores: cores, Strategy: Refine, BG: BGNone, Seed: seed, Scale: scale})
+	for _, eps := range epsFracs {
+		for _, period := range periods {
+			batch = append(batch, Scenario{
+				App: app, Cores: cores, Strategy: Refine, BG: BGWave2D,
+				Seed: seed, BGWeight: bgWeightFor(app), BGIters: bgItersFor(app),
+				Scale: scale, EpsilonFrac: eps, SyncEvery: period,
+			})
+		}
+	}
+	return batch
+}
+
 // SweepRefineParams maps RefineLB's two tunables — the tolerance ε (as a
 // fraction of T_avg) and the load balancing period — to timing penalty
 // and migration volume on the standard interfered workload. It quantifies
@@ -22,15 +40,25 @@ type SweepPoint struct {
 // background-induced uplift of T_avg (~1/P), and the period trades
 // reaction latency against LB overhead.
 func SweepRefineParams(app AppKind, cores int, epsFracs []float64, periods []int, seed int64, scale float64) []SweepPoint {
-	base := Run(Scenario{App: app, Cores: cores, Strategy: Refine, BG: BGNone, Seed: seed, Scale: scale})
+	points, err := SweepRefineParamsCtx(context.Background(), app, cores, epsFracs, periods, seed, scale, RunAll)
+	if err != nil {
+		panic(err) // unreachable: RunAll under a background context cannot fail
+	}
+	return points
+}
+
+// SweepRefineParamsCtx is SweepRefineParams with the batch dispatched
+// through exec.
+func SweepRefineParamsCtx(ctx context.Context, app AppKind, cores int, epsFracs []float64, periods []int, seed int64, scale float64, exec Executor) ([]SweepPoint, error) {
+	results, err := exec(ctx, SweepScenarios(app, cores, epsFracs, periods, seed, scale))
+	if err != nil {
+		return nil, err
+	}
+	base := results[0]
 	var out []SweepPoint
-	for _, eps := range epsFracs {
-		for _, period := range periods {
-			r := Run(Scenario{
-				App: app, Cores: cores, Strategy: Refine, BG: BGWave2D,
-				Seed: seed, BGWeight: bgWeightFor(app), BGIters: bgItersFor(app),
-				Scale: scale, EpsilonFrac: eps, SyncEvery: period,
-			})
+	for i, eps := range epsFracs {
+		for j, period := range periods {
+			r := results[1+i*len(periods)+j]
 			out = append(out, SweepPoint{
 				EpsilonFrac: eps,
 				SyncEvery:   period,
@@ -40,7 +68,7 @@ func SweepRefineParams(app AppKind, cores int, epsFracs []float64, periods []int
 			})
 		}
 	}
-	return out
+	return out, nil
 }
 
 // SweepTable renders sweep results as a table.

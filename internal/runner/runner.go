@@ -1,0 +1,82 @@
+// Package runner executes batches of independent deterministic simulations
+// concurrently. Every paper artifact is assembled from dozens of
+// self-contained scenario runs — seeds x core counts x strategies — and
+// each run builds its own engine, machine and RNG, so the runs are
+// embarrassingly parallel. The pool here fans a batch out over a bounded
+// set of worker goroutines while keeping the one property the committed
+// results/ tree depends on: results are slotted by batch index, never by
+// completion order, so the assembled output is bit-identical to a
+// sequential run at any worker count.
+package runner
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Map runs fn over every item on up to workers goroutines and returns the
+// results in item order. workers <= 0 selects GOMAXPROCS. The index passed
+// to fn is the item's position in items; results[i] is fn's value for
+// items[i] regardless of which worker ran it or when it finished.
+//
+// The first error stops the batch: no new items are started, in-flight
+// items run to completion, and that error is returned. Cancelling ctx
+// likewise stops the batch and returns the context's error. On any error
+// the partial results are discarded (a batch is only meaningful whole).
+func Map[T, R any](ctx context.Context, workers int, items []T, fn func(ctx context.Context, index int, item T) (R, error)) ([]R, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(items) {
+		workers = len(items)
+	}
+	results := make([]R, len(items))
+	if len(items) == 0 {
+		return results, ctx.Err()
+	}
+
+	wctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next     atomic.Int64 // next unclaimed item index
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err })
+		cancel()
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if wctx.Err() != nil {
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= len(items) {
+					return
+				}
+				r, err := fn(wctx, i, items[i])
+				if err != nil {
+					fail(err)
+					return
+				}
+				results[i] = r
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}

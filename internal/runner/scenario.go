@@ -1,0 +1,122 @@
+package runner
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+
+	"cloudlb/internal/experiment"
+)
+
+// ScenarioStats is one scenario's execution record: where it sat in the
+// batch, how long it took in real time, and how many simulation events it
+// executed.
+type ScenarioStats struct {
+	Index  int
+	Wall   time.Duration
+	Events uint64
+}
+
+// EventsPerSec is the scenario's simulated-event throughput.
+func (s ScenarioStats) EventsPerSec() float64 {
+	if s.Wall <= 0 {
+		return 0
+	}
+	return float64(s.Events) / s.Wall.Seconds()
+}
+
+// BatchStats aggregates one batch.
+type BatchStats struct {
+	// Wall is the real elapsed time of the whole batch (not the sum of
+	// per-scenario walls — with W workers it is roughly that sum / W).
+	Wall time.Duration
+	// Events is the total number of simulation events executed.
+	Events uint64
+	// Scenarios holds the per-scenario records in batch order.
+	Scenarios []ScenarioStats
+}
+
+// EventsPerSec is the batch's aggregate simulated-event throughput:
+// total events over real elapsed time, so it scales with the worker count.
+func (b *BatchStats) EventsPerSec() float64 {
+	if b.Wall <= 0 {
+		return 0
+	}
+	return float64(b.Events) / b.Wall.Seconds()
+}
+
+// Pool runs experiment scenario batches on a bounded worker pool and
+// accumulates throughput statistics across batches. The zero value is
+// ready to use and selects GOMAXPROCS workers. A Pool may be shared: its
+// accumulators are mutex-protected, and each RunBatch call fans out
+// independently.
+type Pool struct {
+	// Workers bounds the number of concurrently executing scenarios;
+	// <= 0 selects GOMAXPROCS.
+	Workers int
+
+	mu        sync.Mutex
+	wall      time.Duration
+	events    uint64
+	scenarios int
+}
+
+// RunBatch executes the batch and returns results slotted by batch index
+// (results[i] corresponds to batch[i] at any worker count) together with
+// the batch's execution statistics. On error or cancellation the partial
+// results are discarded and only the error is returned; completed
+// scenarios still count toward the pool's accumulated totals.
+func (p *Pool) RunBatch(ctx context.Context, batch []experiment.Scenario) ([]experiment.Result, *BatchStats, error) {
+	stats := &BatchStats{Scenarios: make([]ScenarioStats, len(batch))}
+	start := time.Now()
+	results, err := Map(ctx, p.Workers, batch, func(_ context.Context, i int, s experiment.Scenario) (experiment.Result, error) {
+		t0 := time.Now()
+		r := experiment.Run(s)
+		stats.Scenarios[i] = ScenarioStats{Index: i, Wall: time.Since(t0), Events: r.Events}
+		return r, nil
+	})
+	stats.Wall = time.Since(start)
+	for _, s := range stats.Scenarios {
+		stats.Events += s.Events
+	}
+	p.mu.Lock()
+	p.wall += stats.Wall
+	p.events += stats.Events
+	for _, s := range stats.Scenarios {
+		if s.Wall > 0 {
+			p.scenarios++
+		}
+	}
+	p.mu.Unlock()
+	if err != nil {
+		return nil, nil, err
+	}
+	return results, stats, nil
+}
+
+// Executor adapts the pool to the experiment package's Executor hook, so
+// Evaluate/Sweep/Compare batches fan out over the pool's workers.
+func (p *Pool) Executor() experiment.Executor {
+	return func(ctx context.Context, batch []experiment.Scenario) ([]experiment.Result, error) {
+		results, _, err := p.RunBatch(ctx, batch)
+		return results, err
+	}
+}
+
+// WorkerCount reports the effective worker bound (GOMAXPROCS when
+// Workers <= 0).
+func (p *Pool) WorkerCount() int {
+	if p.Workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p.Workers
+}
+
+// Totals reports the pool's accumulated batch wall-clock, executed
+// simulation events and completed scenario count across all RunBatch calls.
+func (p *Pool) Totals() (wall time.Duration, events uint64, scenarios int) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.wall, p.events, p.scenarios
+}

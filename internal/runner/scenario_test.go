@@ -1,0 +1,109 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"cloudlb/internal/experiment"
+)
+
+// evalsEqual compares Eval rows field by field, treating NaN as equal to
+// NaN (AppNone rows have no application wall time).
+func evalsEqual(a, b experiment.Eval) bool {
+	feq := func(x, y float64) bool { return x == y || (math.IsNaN(x) && math.IsNaN(y)) }
+	return a.App == b.App && a.Cores == b.Cores &&
+		feq(a.BaseWallNoLB, b.BaseWallNoLB) && feq(a.BaseWallLB, b.BaseWallLB) && feq(a.BGBase, b.BGBase) &&
+		feq(a.PenAppNoLB, b.PenAppNoLB) && feq(a.PenAppLB, b.PenAppLB) &&
+		feq(a.PenBGNoLB, b.PenBGNoLB) && feq(a.PenBGLB, b.PenBGLB) &&
+		feq(a.PowerBase, b.PowerBase) && feq(a.PowerNoLB, b.PowerNoLB) && feq(a.PowerLB, b.PowerLB) &&
+		feq(a.EnergyOvhNoLB, b.EnergyOvhNoLB) && feq(a.EnergyOvhLB, b.EnergyOvhLB) &&
+		a.MigrationsLB == b.MigrationsLB && a.LBSteps == b.LBSteps
+}
+
+// TestParallelEvaluateMatchesSequential is the determinism contract behind
+// the committed results/ tree: the Figure 2(a) batch run through an
+// 8-worker pool must produce exactly the Eval rows of a sequential run.
+func TestParallelEvaluateMatchesSequential(t *testing.T) {
+	app := experiment.Jacobi2D
+	cores := []int{4, 8}
+	seeds := []int64{1, 2}
+	const scale = 0.1
+
+	seq, err := experiment.EvaluateCtx(context.Background(), app, cores, seeds, scale, experiment.RunAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pool := &Pool{Workers: 8}
+	par, err := experiment.EvaluateCtx(context.Background(), app, cores, seeds, scale, pool.Executor())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("row counts differ: %d sequential vs %d parallel", len(seq), len(par))
+	}
+	for i := range seq {
+		if !evalsEqual(seq[i], par[i]) {
+			t.Fatalf("row %d differs:\nsequential: %+v\nparallel:   %+v", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestRunBatchSlotsResultsByIndex(t *testing.T) {
+	// Distinct seeds give distinct outcomes; each slot must hold its own.
+	batch := []experiment.Scenario{
+		{App: experiment.Wave2D, Cores: 4, Strategy: experiment.NoLB, Seed: 1, Scale: 0.1},
+		{App: experiment.Wave2D, Cores: 4, Strategy: experiment.NoLB, Seed: 2, Scale: 0.1},
+		{App: experiment.Wave2D, Cores: 4, Strategy: experiment.NoLB, Seed: 3, Scale: 0.1},
+	}
+	pool := &Pool{Workers: 3}
+	got, stats, err := pool.RunBatch(context.Background(), batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range batch {
+		want := experiment.Run(s)
+		if got[i].AppWall != want.AppWall || got[i].Events != want.Events {
+			t.Fatalf("slot %d does not match its scenario: got wall %v, want %v", i, got[i].AppWall, want.AppWall)
+		}
+	}
+	if stats.Events == 0 {
+		t.Fatal("batch executed zero simulation events")
+	}
+	var sum uint64
+	for i, s := range stats.Scenarios {
+		if s.Events == 0 || s.Wall <= 0 {
+			t.Fatalf("scenario %d has empty stats: %+v", i, s)
+		}
+		sum += s.Events
+	}
+	if sum != stats.Events {
+		t.Fatalf("per-scenario events sum %d != batch total %d", sum, stats.Events)
+	}
+	if stats.EventsPerSec() <= 0 {
+		t.Fatal("batch throughput not positive")
+	}
+	wall, events, n := pool.Totals()
+	if wall <= 0 || events != stats.Events || n != len(batch) {
+		t.Fatalf("pool totals wall=%v events=%d scenarios=%d", wall, events, n)
+	}
+}
+
+func TestRunBatchCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	pool := &Pool{Workers: 2}
+	batch := experiment.EvaluateScenarios(experiment.Jacobi2D, []int{4}, []int64{1, 2, 3}, 0.1)
+	results, _, err := pool.RunBatch(ctx, batch)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if results != nil {
+		t.Fatal("cancelled batch returned results")
+	}
+	// The same cancellation must surface through the evaluation wrappers.
+	if _, err := experiment.EvaluateCtx(ctx, experiment.Jacobi2D, []int{4}, []int64{1}, 0.1, pool.Executor()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("EvaluateCtx err = %v, want context.Canceled", err)
+	}
+}

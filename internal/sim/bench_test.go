@@ -1,0 +1,102 @@
+package sim
+
+import (
+	"container/heap"
+	"testing"
+)
+
+// The engine's per-event cost is the floor under every simulation in the
+// repository, so the event queue is benchmarked both at the engine level
+// (scheduling through At/Step with the free list) and at the data-structure
+// level against the container/heap adapter it replaced. The boxed replica
+// below reproduces the old implementation exactly: a binary heap driven
+// through heap.Push/heap.Pop, boxing every *event through interface{} and
+// allocating a fresh event per schedule.
+
+type boxedEvent struct {
+	at  Time
+	seq uint64
+}
+
+type boxedHeap []*boxedEvent
+
+func (h boxedHeap) Len() int { return len(h) }
+func (h boxedHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h boxedHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *boxedHeap) Push(x interface{}) { *h = append(*h, x.(*boxedEvent)) }
+func (h *boxedHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// benchQueueDepth approximates a busy simulation: the 32-core testbed keeps
+// on the order of a few hundred timers and message deliveries in flight.
+const benchQueueDepth = 256
+
+// BenchmarkEngineSchedule measures the full scheduling round trip —
+// allocate, push, pop, fire — with a steady queue of pending events. With
+// the free list this settles at zero allocs/op.
+func BenchmarkEngineSchedule(b *testing.B) {
+	e := NewEngine()
+	nop := func() {}
+	for i := 0; i < benchQueueDepth; i++ {
+		e.At(Time(i), nop)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(Duration(benchQueueDepth), nop)
+		e.Step()
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkEventHeapTyped exercises the specialized 4-ary heap alone with
+// the same churn pattern as the boxed baseline below.
+func BenchmarkEventHeapTyped(b *testing.B) {
+	var h eventHeap
+	events := make([]event, benchQueueDepth)
+	for i := range events {
+		events[i] = event{at: Time(i * 7 % benchQueueDepth), seq: uint64(i)}
+		h.push(&events[i])
+	}
+	seq := uint64(len(events))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := h.pop()
+		ev.at += Duration(benchQueueDepth)
+		ev.seq = seq
+		seq++
+		h.push(ev)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}
+
+// BenchmarkEventHeapBoxed is the pre-optimization baseline: container/heap
+// with interface{} boxing and one allocation per scheduled event, exactly
+// as Engine.At used to behave.
+func BenchmarkEventHeapBoxed(b *testing.B) {
+	var h boxedHeap
+	for i := 0; i < benchQueueDepth; i++ {
+		heap.Push(&h, &boxedEvent{at: Time(i * 7 % benchQueueDepth), seq: uint64(i)})
+	}
+	seq := uint64(benchQueueDepth)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := heap.Pop(&h).(*boxedEvent)
+		heap.Push(&h, &boxedEvent{at: ev.at + Duration(benchQueueDepth), seq: seq})
+		seq++
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
+}

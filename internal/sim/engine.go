@@ -8,7 +8,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 )
@@ -32,27 +31,15 @@ type event struct {
 	dead bool
 }
 
-// EventID identifies a scheduled event so it can be cancelled.
-type EventID struct{ ev *event }
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+// EventID identifies a scheduled event so it can be cancelled. Event
+// structs are recycled through the engine's free list once they fire, so
+// the ID also carries the sequence number it was issued for: a stale ID
+// whose struct has been reused for a later event no longer matches and
+// Cancel becomes a no-op, exactly as cancelling an already-fired event
+// always was.
+type EventID struct {
+	ev  *event
+	seq uint64
 }
 
 // Engine is a discrete-event simulation kernel. The zero value is not ready
@@ -61,6 +48,10 @@ type Engine struct {
 	now     Time
 	seq     uint64
 	pending eventHeap
+	// free recycles fired and cancelled event structs: scheduling in the
+	// steady state then allocates nothing, which matters because every
+	// modelled computation, message hop and timer is an event.
+	free []*event
 	// executed counts events that have fired, for diagnostics and tests.
 	executed uint64
 	// limit aborts runaway simulations; 0 means no limit.
@@ -86,12 +77,27 @@ func (e *Engine) SetEventLimit(n uint64) { e.limit = n }
 // events.
 func (e *Engine) Pending() int {
 	n := 0
-	for _, ev := range e.pending {
+	for _, ev := range e.pending.ev {
 		if !ev.dead {
 			n++
 		}
 	}
 	return n
+}
+
+func (e *Engine) alloc() *event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &event{}
+}
+
+func (e *Engine) recycle(ev *event) {
+	ev.fn = nil
+	e.free = append(e.free, ev)
 }
 
 // At schedules fn to run at virtual time t. Scheduling in the past panics:
@@ -100,10 +106,14 @@ func (e *Engine) At(t Time, fn func()) EventID {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", t, e.now))
 	}
-	ev := &event{at: t, seq: e.seq, fn: fn}
+	ev := e.alloc()
+	ev.at = t
+	ev.seq = e.seq
+	ev.fn = fn
+	ev.dead = false
 	e.seq++
-	heap.Push(&e.pending, ev)
-	return EventID{ev}
+	e.pending.push(ev)
+	return EventID{ev: ev, seq: ev.seq}
 }
 
 // After schedules fn to run d seconds from now.
@@ -117,21 +127,27 @@ func (e *Engine) After(d Duration, fn func()) EventID {
 // Cancel prevents a scheduled event from firing. Cancelling an event that
 // already fired (or was already cancelled) is a no-op.
 func (e *Engine) Cancel(id EventID) {
-	if id.ev != nil {
+	if id.ev != nil && id.ev.seq == id.seq {
 		id.ev.dead = true
 	}
 }
 
 // Step fires the single next event. It reports false when no events remain.
 func (e *Engine) Step() bool {
-	for len(e.pending) > 0 {
-		ev := heap.Pop(&e.pending).(*event)
+	for e.pending.len() > 0 {
+		ev := e.pending.pop()
 		if ev.dead {
+			e.recycle(ev)
 			continue
 		}
+		fn := ev.fn
 		e.now = ev.at
 		e.executed++
-		ev.fn()
+		// Recycle before firing: fn is captured locally, and any event the
+		// callback schedules may immediately reuse the struct (its stale
+		// EventIDs are fenced off by the sequence check in Cancel).
+		e.recycle(ev)
+		fn()
 		return true
 	}
 	return false
@@ -168,12 +184,13 @@ func (e *Engine) RunUntil(deadline Time) error {
 }
 
 func (e *Engine) peek() *event {
-	for len(e.pending) > 0 {
-		if e.pending[0].dead {
-			heap.Pop(&e.pending)
+	for e.pending.len() > 0 {
+		if ev := e.pending.ev[0]; ev.dead {
+			e.pending.pop()
+			e.recycle(ev)
 			continue
 		}
-		return e.pending[0]
+		return e.pending.ev[0]
 	}
 	return nil
 }

@@ -1,0 +1,115 @@
+package sim
+
+import "testing"
+
+// The engine recycles event structs through a free list once they fire or
+// are reaped after cancellation. These tests pin the safety property that
+// makes recycling invisible to callers: an EventID is fenced by the
+// sequence number it was issued for, so stale IDs can never cancel the
+// struct's next occupant.
+
+func TestStaleCancelDoesNotKillReusedEvent(t *testing.T) {
+	e := NewEngine()
+	idA := e.At(1, func() {})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// A has fired and its struct sits on the free list; B reuses it.
+	fired := false
+	idB := e.At(2, func() { fired = true })
+	if idA.ev != idB.ev {
+		t.Skip("allocator did not reuse the struct; nothing to regress")
+	}
+	e.Cancel(idA) // stale: must not touch B
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("stale Cancel killed the event that reused the struct")
+	}
+}
+
+func TestCancelWhileOnFreeListIsHarmless(t *testing.T) {
+	e := NewEngine()
+	id := e.At(1, func() {})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The struct is on the free list with its old sequence number; a late
+	// Cancel matches it but the dead mark must be cleared on reuse.
+	e.Cancel(id)
+	fired := false
+	id2 := e.At(2, func() { fired = true })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("event scheduled after a late Cancel never fired")
+	}
+	e.Cancel(id2) // fired already: no-op, must not panic
+}
+
+func TestSelfCancelInsideCallbackIsNoop(t *testing.T) {
+	e := NewEngine()
+	var id EventID
+	ran := false
+	id = e.At(1, func() {
+		ran = true
+		e.Cancel(id) // cancelling the event currently firing
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("event did not fire")
+	}
+	// The struct must still be reusable afterwards.
+	again := false
+	e.At(2, func() { again = true })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !again {
+		t.Fatal("struct poisoned by self-cancel")
+	}
+}
+
+func TestSchedulingInsideCallbackReusesFiredStruct(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 100 {
+			e.After(1, tick)
+		}
+	}
+	e.After(1, tick)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if count != 100 {
+		t.Fatalf("count=%d, want 100", count)
+	}
+	// A self-rescheduling chain needs exactly one event struct.
+	if got := len(e.free); got != 1 {
+		t.Fatalf("free list holds %d structs after a 1-deep chain, want 1", got)
+	}
+}
+
+func TestPendingSkipsDeadAfterRecycling(t *testing.T) {
+	e := NewEngine()
+	keep := e.At(5, func() {})
+	kill := e.At(3, func() {})
+	e.Cancel(kill)
+	if got := e.Pending(); got != 1 {
+		t.Fatalf("Pending()=%d with one live and one cancelled event, want 1", got)
+	}
+	_ = keep
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Pending(); got != 0 {
+		t.Fatalf("Pending()=%d after drain, want 0", got)
+	}
+}
