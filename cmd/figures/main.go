@@ -75,7 +75,7 @@ func fig4Chart(kind experiment.AppKind, evals []experiment.Eval) plot.BarChart {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1, 2a, 2b, 2c, 3, 4a, 4b, 4c, sweep, compare, all")
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 2a, 2b, 2c, 3, 4a, 4b, 4c, 5, sweep, compare, all (5, the elasticity extension, is opt-in)")
 	scale := flag.Float64("scale", 1.0, "iteration-count scale factor (smaller = faster)")
 	seedN := flag.Int("seeds", 3, "number of seeds to average over (the paper uses 3 runs)")
 	coresFlag := flag.String("cores", "4,8,16,32", "comma-separated core counts")
@@ -141,6 +141,38 @@ func main() {
 				fail(err)
 			}
 			experiment.CompareTable(results).Write(os.Stdout)
+			fmt.Println()
+		case f == "5":
+			// Extension beyond the paper: cloud elasticity. One spot
+			// revocation with a short warning takes a core away mid-run and
+			// a replacement arrives later; each strategy's penalty is
+			// measured against its own fault-free baseline.
+			const elasticCores = 8
+			sched := experiment.Fig5Schedule(elasticCores, *scale)
+			r := sched[0]
+			fmt.Printf("Figure 5: timing penalty of a spot revocation (Wave2D, %d cores)\n", elasticCores)
+			fmt.Printf("PE %d warned at t=%.3fs, core offline %.3f-%.3fs, replacement core %d\n",
+				r.PE, float64(r.At-r.Warning), float64(r.At), float64(r.Restore), r.ReplacementCore)
+			evals, err := experiment.EvaluateElasticityCtx(ctx, experiment.Wave2D, elasticCores,
+				[]experiment.StrategyKind{experiment.NoLB, experiment.Refine, experiment.RefineSwap},
+				seeds, *scale, sched, exec)
+			if err != nil {
+				fail(err)
+			}
+			tab := experiment.Fig5Table(evals)
+			tab.Write(os.Stdout)
+			if *csvDir != "" {
+				path := filepath.Join(*csvDir, "fig5_wave2d.csv")
+				out, err := os.Create(path)
+				if err != nil {
+					fail(err)
+				}
+				if err := tab.WriteCSV(out); err != nil {
+					fail(err)
+				}
+				out.Close()
+				fmt.Printf("wrote %s\n", path)
+			}
 			fmt.Println()
 		case f == "sweep":
 			fmt.Println("Sensitivity of RefineLB's design parameters (Wave2D, 8 cores):")

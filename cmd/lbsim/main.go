@@ -12,6 +12,7 @@
 //	lbsim -app mol3d -cores 16 -strategy greedy -bg -bgweight 4
 //	lbsim -app jacobi2d -cores 4 -strategy none
 //	lbsim -app wave2d -cores 8 -strategy refine -bg -runs 8 -parallel 4
+//	lbsim -app wave2d -cores 8 -strategy refine -preempt 4:1.4:0.25:2.3:8
 package main
 
 import (
@@ -21,13 +22,52 @@ import (
 	"math"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 
+	"cloudlb/internal/elastic"
 	"cloudlb/internal/experiment"
 	"cloudlb/internal/runner"
+	"cloudlb/internal/sim"
 	"cloudlb/internal/stats"
 	"cloudlb/internal/trace"
 )
+
+// parsePreempt parses the -preempt flag: comma-separated
+// pe:at:warning:restore:core revocations (times in simulated seconds).
+func parsePreempt(s string) (elastic.Schedule, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out elastic.Schedule
+	for _, part := range strings.Split(s, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) != 5 {
+			return nil, fmt.Errorf("bad -preempt entry %q: want pe:at:warning:restore:core", part)
+		}
+		pe, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("bad -preempt PE %q", fields[0])
+		}
+		var times [3]float64
+		for i, name := range []string{"at", "warning", "restore"} {
+			v, err := strconv.ParseFloat(fields[1+i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad -preempt %s %q", name, fields[1+i])
+			}
+			times[i] = v
+		}
+		core, err := strconv.Atoi(fields[4])
+		if err != nil {
+			return nil, fmt.Errorf("bad -preempt core %q", fields[4])
+		}
+		out = append(out, elastic.Revocation{
+			PE: pe, At: sim.Time(times[0]), Warning: sim.Duration(times[1]),
+			Restore: sim.Time(times[2]), ReplacementCore: core,
+		})
+	}
+	return out, nil
+}
 
 func main() {
 	app := flag.String("app", "wave2d", "application: jacobi2d, wave2d, mol3d")
@@ -43,6 +83,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "iteration-count scale factor")
 	chromePath := flag.String("chrome", "", "write a Chrome trace-event JSON of the run to this path (single run only)")
 	hier := flag.Bool("hier", false, "use the hierarchical (tree) LB gather instead of the flat gather")
+	preempt := flag.String("preempt", "", "core revocation schedule, comma-separated pe:at:warning:restore:core entries (restore 0 = never, core -1 = original core)")
 	flag.Parse()
 
 	appKind, ok := map[string]experiment.AppKind{
@@ -77,6 +118,16 @@ func main() {
 		os.Exit(2)
 	}
 
+	faults, err := parsePreempt(*preempt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbsim:", err)
+		os.Exit(2)
+	}
+	if err := faults.Validate(*cores); err != nil {
+		fmt.Fprintln(os.Stderr, "lbsim:", err)
+		os.Exit(2)
+	}
+
 	proto := experiment.Scenario{
 		App:          appKind,
 		Cores:        *cores,
@@ -85,6 +136,7 @@ func main() {
 		BGIters:      *bgIters,
 		Scale:        *scale,
 		Hierarchical: *hier,
+		Faults:       faults,
 	}
 	switch {
 	case *bg && *churn:
@@ -127,6 +179,9 @@ func main() {
 		fmt.Printf("energy:         %.1f J\n", res.EnergyJ)
 		fmt.Printf("LB steps:       %d\n", res.LBSteps)
 		fmt.Printf("migrations:     %d\n", res.Migrations)
+		if len(faults) > 0 {
+			fmt.Printf("evacuations:    %d (schedule of %d revocations)\n", res.Evacuations, len(faults))
+		}
 	} else {
 		fmt.Printf("app: %v on %d cores, strategy %v, seeds %d..%d\n",
 			appKind, *cores, stratKind, *seed, *seed+int64(*runs)-1)

@@ -144,6 +144,11 @@ type Config struct {
 	// gather at PE 0 — the communication shape of Charm++'s
 	// hierarchical balancers.
 	HierarchicalLB bool
+	// FaultDetectionDelay is how long a hard-killed core's disappearance
+	// goes unnoticed before the runtime evacuates its chares (default
+	// 50 ms, a typical heartbeat timeout). Irrelevant for revocations
+	// with advance warning, which evacuate eagerly.
+	FaultDetectionDelay float64
 	// Name tags this runtime instance in traces.
 	Name string
 }
@@ -163,12 +168,17 @@ type RTS struct {
 	// updates is still paid by the resume broadcast.
 	location map[ChareID]int
 
-	started  bool
-	total    int // total chares
-	done     int
-	finished bool
-	finishAt sim.Time
-	onDone   func()
+	started bool
+	total   int // total chares
+	done    int
+	// doneChares marks chares that called Done; they no longer take part
+	// in AtSync accounting (they will never sync again) but remain
+	// migratable objects. Kept on the RTS, not the PE, so the mark
+	// survives migration and evacuation.
+	doneChares map[ChareID]bool
+	finished   bool
+	finishAt   sim.Time
+	onDone     func()
 
 	lb lbState
 
@@ -180,6 +190,11 @@ type RTS struct {
 	lbSteps    int
 	migrations int
 	lbWall     sim.Time
+
+	// Elasticity state: revocations/restores deferred past an in-flight
+	// LB step, and the emergency-evacuation counter.
+	pendingElastic []func()
+	evacuations    int
 }
 
 type arrayMeta struct {
@@ -207,15 +222,19 @@ func NewRTS(cfg Config) *RTS {
 	if cfg.StatsBytesPerTask == 0 {
 		cfg.StatsBytesPerTask = 24
 	}
+	if cfg.FaultDetectionDelay == 0 {
+		cfg.FaultDetectionDelay = 0.05
+	}
 	if cfg.Name == "" {
 		cfg.Name = "rts"
 	}
 	r := &RTS{
-		cfg:      cfg,
-		eng:      cfg.Machine.Engine(),
-		name:     cfg.Name,
-		arrays:   make(map[string]*arrayMeta),
-		location: make(map[ChareID]int),
+		cfg:        cfg,
+		eng:        cfg.Machine.Engine(),
+		name:       cfg.Name,
+		arrays:     make(map[string]*arrayMeta),
+		location:   make(map[ChareID]int),
+		doneChares: make(map[ChareID]bool),
 	}
 	for i, c := range cfg.Cores {
 		r.pes = append(r.pes, newPE(r, i, cfg.Machine.Core(c)))
@@ -343,7 +362,8 @@ func (r *RTS) LBWallTime() sim.Time {
 	return r.lbWall / sim.Time(len(r.pes))
 }
 
-func (r *RTS) chareDone() {
+func (r *RTS) chareDone(id ChareID) {
+	r.doneChares[id] = true
 	r.done++
 	if r.done == r.total && !r.finished {
 		r.finished = true

@@ -53,10 +53,11 @@ type lbState struct {
 }
 
 type peStats struct {
-	pe    int
-	tasks []core.Task
-	bg    float64
-	speed float64
+	pe      int
+	tasks   []core.Task
+	bg      float64
+	speed   float64
+	offline bool
 }
 
 // maybeEnterSync fires when a chare syncs: once every local chare has, the
@@ -69,7 +70,17 @@ func (p *pe) maybeEnterSync(self ChareID) {
 		p.enqueueApp(self, Resume{})
 		return
 	}
-	if p.inSync || len(p.local) == 0 || len(p.synced) != len(p.local) {
+	// A retired PE never initiates a sync: its chares are on their way to
+	// other PEs and will complete the count there. (It still answers the
+	// master's empty-PE probe so the gather can total up.)
+	if p.retired || p.inSync {
+		return
+	}
+	// Chares that called Done will never sync again; only the remaining
+	// active ones have to agree. (Without faults the chares run in
+	// lockstep and this is the plain all-local-chares-synced condition.)
+	active, syncedActive := p.activeSync()
+	if active == 0 || syncedActive != active {
 		return
 	}
 	if p.rts.cfg.HierarchicalLB {
@@ -119,6 +130,7 @@ func (p *pe) measureStats() peStats {
 		bg = 0
 	}
 	st.bg = bg
+	st.offline = p.retired
 	p.sentStats = true
 	return st
 }
@@ -146,7 +158,7 @@ func (r *RTS) masterStats(st peStats) {
 		lb.startAt = r.eng.Now()
 	}
 	lb.stats.Tasks = append(lb.stats.Tasks, st.tasks...)
-	lb.stats.Cores = append(lb.stats.Cores, core.CoreSample{PE: st.pe, Background: st.bg, Speed: st.speed})
+	lb.stats.Cores = append(lb.stats.Cores, core.CoreSample{PE: st.pe, Background: st.bg, Speed: st.speed, Offline: st.offline})
 	lb.statsCount++
 
 	if lb.statsCount == len(r.pes) {
@@ -156,17 +168,34 @@ func (r *RTS) masterStats(st peStats) {
 	if !lb.probed && lb.statsCount == r.nonEmptyPEs() {
 		lb.probed = true
 		for _, p := range r.pes {
-			if len(p.local) == 0 && !p.sentStats {
+			if active, _ := p.activeSync(); active == 0 && !p.sentStats {
 				r.probeEmpty(p)
 			}
 		}
 	}
 }
 
+// activeSync counts this PE's chares still participating in AtSync (not
+// Done) and how many of those have synced.
+func (p *pe) activeSync() (active, syncedActive int) {
+	for id := range p.local {
+		if p.rts.doneChares[id] {
+			continue
+		}
+		active++
+		if p.synced[id] {
+			syncedActive++
+		}
+	}
+	return active, syncedActive
+}
+
+// nonEmptyPEs counts PEs that can still observe a sync point themselves —
+// those with at least one active (not Done) chare. The rest get probed.
 func (r *RTS) nonEmptyPEs() int {
 	n := 0
 	for _, p := range r.pes {
-		if len(p.local) > 0 {
+		if active, _ := p.activeSync(); active > 0 {
 			n++
 		}
 	}
@@ -214,6 +243,12 @@ func (r *RTS) planMoves(stats *core.Stats, wallSince sim.Time) (outs map[int][]c
 		}
 		if m.To < 0 || m.To >= len(r.pes) {
 			panic(fmt.Sprintf("charm: strategy moved %v to invalid PE %d", m.Task, m.To))
+		}
+		if r.pes[m.To].retired {
+			// The PE set is frozen for the duration of a step (elastic ops
+			// are deferred), so the stats marked this PE offline and a
+			// correct strategy cannot have targeted it.
+			panic(fmt.Sprintf("charm: strategy moved %v to revoked PE %d", m.Task, m.To))
 		}
 		if m.To == from {
 			continue
@@ -287,6 +322,10 @@ func (p *pe) onOrder(order []core.Move, expect int) {
 func (p *pe) receiveMigrant(id ChareID, obj Chare, bytes int) {
 	p.runBurst(float64(bytes)*p.rts.cfg.PackCPUPerByte, func() {
 		p.install(id, obj)
+		// A migrant synced on its source PE — it would not have moved
+		// otherwise. Marking it here keeps the resume rule uniform:
+		// Resume goes exactly to the synced chares.
+		p.synced[id] = true
 		p.arrivedIn++
 		p.maybeSyncDone()
 	})
@@ -340,6 +379,7 @@ func (p *pe) onResume() {
 	p.rts.cfg.Trace.Add(trace.Segment{
 		Core: p.core.ID, Start: p.syncAt, End: now, Kind: trace.KindLB, Label: "lb-step",
 	})
+	wasSynced := p.synced
 	p.beginInterval()
 	ids := make([]ChareID, 0, len(p.local))
 	for id := range p.local {
@@ -351,7 +391,16 @@ func (p *pe) onResume() {
 		}
 		return ids[i].Index < ids[j].Index
 	})
+	// Resume goes exactly to the chares that synced into this step (all of
+	// them, in the absence of faults). A chare evacuated here mid-iteration
+	// never reached its sync point and must not be pushed past it; its own
+	// pending messages drive it on.
 	for _, id := range ids {
-		p.enqueueApp(id, Resume{})
+		if wasSynced[id] {
+			p.enqueueApp(id, Resume{})
+		}
 	}
+	// The last PE to resume applies any revocation/restore that arrived
+	// mid-step, before application work restarts.
+	p.rts.drainElastic()
 }

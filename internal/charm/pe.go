@@ -24,6 +24,12 @@ type pe struct {
 
 	running bool // an entry method (or pack/unpack burst) is in flight
 
+	// Elasticity state. A retired PE executes no application work; its
+	// core is offline (or about to be) until RestorePE.
+	retired     bool
+	wentOffline bool
+	offlineAt   sim.Time
+
 	// Load database for the current LB interval.
 	taskWall   map[ChareID]float64
 	intervalAt sim.Time // start of the interval (last resume)
@@ -76,12 +82,19 @@ func (p *pe) install(id ChareID, c Chare) {
 	p.local[id] = c
 }
 
-// beginInterval resets the load database at the start of an LB interval.
-func (p *pe) beginInterval() {
+// resetLoadDB restarts load measurement from the current instant. Split
+// from beginInterval so RestorePE can reset measurement on the new core
+// without touching in-flight LB protocol flags.
+func (p *pe) resetLoadDB() {
 	p.taskWall = make(map[ChareID]float64, len(p.local))
 	p.intervalAt = p.rts.eng.Now()
 	_, idle := p.core.ProcStat()
 	p.idleAtLB = idle
+}
+
+// beginInterval resets the load database at the start of an LB interval.
+func (p *pe) beginInterval() {
+	p.resetLoadDB()
 	p.synced = make(map[ChareID]bool, len(p.local))
 	p.inSync = false
 	p.orderSeen = false
@@ -118,7 +131,7 @@ func (p *pe) pump() {
 		p.sysQ = p.sysQ[1:]
 		fn()
 	}
-	if p.running || p.inSync || len(p.appQ) == 0 {
+	if p.running || p.inSync || p.retired || len(p.appQ) == 0 {
 		p.rts.maybeQuiesce()
 		return
 	}
@@ -188,7 +201,7 @@ func (p *pe) afterEntry(ctx *Ctx) {
 		p.contribute(ctx.self, c)
 	}
 	if ctx.done {
-		p.rts.chareDone()
+		p.rts.chareDone(ctx.self)
 	}
 	if ctx.atSync {
 		if p.synced[ctx.self] {

@@ -1,0 +1,166 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// markOffline flags the sample for the given PE.
+func markOffline(s Stats, pe int) Stats {
+	cores := append([]CoreSample(nil), s.Cores...)
+	for i := range cores {
+		if cores[i].PE == pe {
+			cores[i].Offline = true
+		}
+	}
+	s.Cores = cores
+	return s
+}
+
+func TestTAvgExcludesOfflineCores(t *testing.T) {
+	s := mkStats(map[int][]float64{0: {2, 2}, 1: {}}, map[int]float64{})
+	s = markOffline(s, 1)
+	// 4s of work over the single live core: the average a strategy should
+	// aim each survivor at is 4, not 2.
+	if got := TAvg(s); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("TAvg=%v with one core offline, want 4", got)
+	}
+	// Background on an offline core is meaningless and must not leak in.
+	s.Cores[1].Background = 99
+	if got := TAvg(s); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("TAvg=%v with offline background, want 4", got)
+	}
+	// All cores offline must not divide by zero.
+	s = markOffline(s, 0)
+	if got := TAvg(s); got != 0 {
+		t.Fatalf("TAvg=%v with every core offline, want 0", got)
+	}
+}
+
+func TestDrainOfflineMovesStrandedTasks(t *testing.T) {
+	s := mkStats(map[int][]float64{0: {3, 1}, 1: {2}, 2: {1}}, map[int]float64{})
+	s = markOffline(s, 0)
+	drained, moves := DrainOffline(s)
+	if len(moves) != 2 {
+		t.Fatalf("%d drain moves, want 2: %v", len(moves), moves)
+	}
+	for _, m := range moves {
+		if m.To == 0 {
+			t.Fatalf("drain targeted the offline core: %v", moves)
+		}
+	}
+	// Heaviest first onto the least-loaded live core: 3 -> PE 2 (load 1),
+	// then 1 -> PE 1 (load 2 < 4).
+	if moves[0].To != 2 || moves[1].To != 1 {
+		t.Fatalf("drain placement %v, want [->2 ->1]", moves)
+	}
+	// The drained snapshot reflects the new mapping; the input is untouched.
+	for _, task := range drained.Tasks {
+		if task.PE == 0 {
+			t.Fatalf("task %v still on the offline core in the drained stats", task.ID)
+		}
+	}
+	for _, task := range s.Tasks {
+		if task.ID.Index/100 == 0 && task.PE != 0 {
+			t.Fatal("DrainOffline mutated the caller's stats")
+		}
+	}
+}
+
+func TestDrainOfflineNoopWithoutStrandedTasks(t *testing.T) {
+	s := mkStats(map[int][]float64{0: {}, 1: {2}}, map[int]float64{})
+	s = markOffline(s, 0)
+	drained, moves := DrainOffline(s)
+	if moves != nil {
+		t.Fatalf("drain moves %v for an already-empty offline core", moves)
+	}
+	if &drained.Tasks[0] != &s.Tasks[0] {
+		t.Fatal("DrainOffline copied stats on the no-op path")
+	}
+}
+
+func TestMergeMovesCollapsesPerTask(t *testing.T) {
+	id := func(i int) TaskID { return TaskID{Array: "a", Index: i} }
+	forced := []Move{{Task: id(1), To: 2}, {Task: id(2), To: 3}}
+	refined := []Move{{Task: id(1), To: 5}, {Task: id(3), To: 4}}
+	got := MergeMoves(forced, refined)
+	want := []Move{{Task: id(1), To: 5}, {Task: id(2), To: 3}, {Task: id(3), To: 4}}
+	if len(got) != len(want) {
+		t.Fatalf("merged %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("merged %v, want %v", got, want)
+		}
+	}
+	if out := MergeMoves(nil, refined); len(out) != 2 {
+		t.Fatalf("empty forced pass changed moves: %v", out)
+	}
+}
+
+func TestRefineLBEvacuatesOfflineCore(t *testing.T) {
+	// PE 0 is revoked with four tasks stranded; PEs 1-3 are live and evenly
+	// loaded. The plan must move every stranded task, target only live
+	// cores, and emit at most one move per task.
+	s := mkStats(map[int][]float64{
+		0: {1, 1, 1, 1},
+		1: {1, 1},
+		2: {1, 1},
+		3: {1, 1},
+	}, map[int]float64{})
+	s = markOffline(s, 0)
+	r := &RefineLB{}
+	moves := r.Plan(s)
+	seen := map[TaskID]bool{}
+	for _, m := range moves {
+		if m.To == 0 {
+			t.Fatalf("move onto offline PE 0: %v", moves)
+		}
+		if seen[m.Task] {
+			t.Fatalf("duplicate move for %v: %v", m.Task, moves)
+		}
+		seen[m.Task] = true
+	}
+	for _, task := range s.Tasks {
+		if task.PE == 0 && !seen[task.ID] {
+			t.Fatalf("stranded task %v not evacuated: %v", task.ID, moves)
+		}
+	}
+	// The offline core ends empty and the survivors stay within one task
+	// size of each other (the best achievable with unit tasks).
+	loads := applyMoves(s, moves)
+	if loads[0] != 0 {
+		t.Fatalf("offline core still loaded: %v", loads)
+	}
+	lo, hi := math.Inf(1), 0.0
+	for pe, l := range loads {
+		if pe == 0 {
+			continue
+		}
+		lo = math.Min(lo, l)
+		hi = math.Max(hi, l)
+	}
+	if hi-lo > 1+1e-9 {
+		t.Fatalf("survivors unbalanced after evacuation: %v", loads)
+	}
+}
+
+func TestRefineLBNeverTargetsOfflineCore(t *testing.T) {
+	// An idle offline core next to an overloaded live one: the refinement
+	// must not treat the dead core as headroom.
+	s := mkStats(map[int][]float64{
+		0: {2, 2, 2},
+		1: {1},
+		2: {},
+	}, map[int]float64{})
+	s = markOffline(s, 2)
+	moves := (&RefineLB{}).Plan(s)
+	if len(moves) == 0 {
+		t.Fatal("no rebalancing moves at all")
+	}
+	for _, m := range moves {
+		if m.To == 2 {
+			t.Fatalf("planned a move onto offline PE 2: %v", moves)
+		}
+	}
+}

@@ -31,11 +31,15 @@ type RefineLB struct {
 // Name implements Strategy.
 func (r *RefineLB) Name() string { return "RefineLB" }
 
-// Plan implements Strategy with the paper's Algorithm 1.
+// Plan implements Strategy with the paper's Algorithm 1. Offline cores are
+// drained first (see DrainOffline) and then ignored: they join neither the
+// overloaded heap nor the underloaded set, so refinement never plans a move
+// onto a revoked core.
 func (r *RefineLB) Plan(s Stats) []Move {
 	if len(s.Cores) == 0 || len(s.Tasks) == 0 {
 		return nil
 	}
+	s, forced := DrainOffline(s)
 	tavg := TAvg(s)
 	eps := r.Epsilon
 	if eps <= 0 {
@@ -53,6 +57,9 @@ func (r *RefineLB) Plan(s Stats) []Move {
 	heap.Init(over)
 	var under []int // indices into s.Cores
 	for i := range s.Cores {
+		if s.Cores[i].Offline {
+			continue
+		}
 		switch {
 		case loads[i]-tavg > eps: // isHeavy
 			heap.Push(over, coreRef{idx: i, load: loads[i]})
@@ -96,7 +103,7 @@ func (r *RefineLB) Plan(s Stats) []Move {
 			under = removeCore(under, bestCore)
 		}
 	}
-	return moves
+	return MergeMoves(forced, moves)
 }
 
 // bestCoreAndTask implements getBestCoreAndTask (line 12): pick the biggest

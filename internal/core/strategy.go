@@ -51,6 +51,10 @@ type CoreSample struct {
 	Background float64
 	// Speed is the relative core speed (1.0 = nominal).
 	Speed float64
+	// Offline marks a core whose instance has been revoked. An offline
+	// core contributes nothing to T_avg and must never be chosen as a
+	// migration destination; any task still mapped to it must be moved.
+	Offline bool
 }
 
 // Stats is everything a strategy sees at a load balancing step.
@@ -78,7 +82,10 @@ type Strategy interface {
 
 // TAvg computes the paper's Eq. 1: the average per-core load including
 // background load, normalized by core speed. With homogeneous unit-speed
-// cores it reduces exactly to Eq. 1.
+// cores it reduces exactly to Eq. 1. Offline cores are excluded: their
+// capacity is gone, so the average the refinement aims for is over live
+// cores only — all application load, including load stranded on a revoked
+// core, must fit on the survivors.
 func TAvg(s Stats) float64 {
 	if len(s.Cores) == 0 {
 		return 0
@@ -89,12 +96,18 @@ func TAvg(s Stats) float64 {
 	}
 	speed := 0.0
 	for _, c := range s.Cores {
+		if c.Offline {
+			continue
+		}
 		total += c.Background
 		sp := c.Speed
 		if sp <= 0 {
 			sp = 1
 		}
 		speed += sp
+	}
+	if speed == 0 {
+		return 0
 	}
 	return total / speed
 }
@@ -119,6 +132,84 @@ func CoreLoads(s Stats) (loads []float64, tasksOf [][]int) {
 		tasksOf[i] = append(tasksOf[i], ti)
 	}
 	return loads, tasksOf
+}
+
+// DrainOffline forcibly reassigns every task still mapped to an offline
+// core onto the least-loaded online core, heaviest task first. It returns
+// the (possibly shared) stats with the reassignments applied plus the
+// forced moves, so a strategy can run its normal planning on a snapshot in
+// which no task lives on a dead core. Unlike regular refinement moves,
+// drain moves ignore the tolerance band: leaving a task on a revoked core
+// is never acceptable, however unbalanced the destination becomes. With no
+// stranded tasks the input is returned unchanged and no moves are made.
+func DrainOffline(s Stats) (Stats, []Move) {
+	offline := make(map[int]bool)
+	anyOnline := false
+	for _, c := range s.Cores {
+		if c.Offline {
+			offline[c.PE] = true
+		} else {
+			anyOnline = true
+		}
+	}
+	if len(offline) == 0 || !anyOnline {
+		return s, nil
+	}
+	var stranded []int
+	for ti, t := range s.Tasks {
+		if offline[t.PE] {
+			stranded = append(stranded, ti)
+		}
+	}
+	if len(stranded) == 0 {
+		return s, nil
+	}
+	loads, _ := CoreLoads(s)
+	tasks := append([]Task(nil), s.Tasks...)
+	s.Tasks = tasks
+	var moves []Move
+	for _, ti := range SortTasksByLoadDesc(s, stranded) {
+		best := -1
+		for ci, c := range s.Cores {
+			if c.Offline {
+				continue
+			}
+			if best < 0 || loads[ci] < loads[best] ||
+				(loads[ci] == loads[best] && c.PE < s.Cores[best].PE) {
+				best = ci
+			}
+		}
+		loads[best] += tasks[ti].Load
+		tasks[ti].PE = s.Cores[best].PE
+		moves = append(moves, Move{Task: tasks[ti].ID, To: s.Cores[best].PE})
+	}
+	return s, moves
+}
+
+// MergeMoves concatenates a forced drain pass with a refinement pass,
+// collapsing the two into at most one move per task (the last destination
+// wins). The runtime resolves each move's source PE from its live location
+// table, so emitting two moves for one task would order the intermediate
+// PE to ship a chare it never received.
+func MergeMoves(forced, moves []Move) []Move {
+	if len(forced) == 0 {
+		return moves
+	}
+	combined := append(append([]Move(nil), forced...), moves...)
+	final := make(map[TaskID]int, len(combined))
+	for _, m := range combined {
+		final[m.Task] = m.To
+	}
+	out := combined[:0]
+	emitted := make(map[TaskID]bool, len(combined))
+	for _, m := range combined {
+		if emitted[m.Task] {
+			continue
+		}
+		emitted[m.Task] = true
+		out = append(out, Move{Task: m.Task, To: final[m.Task]})
+	}
+	return out
 }
 
 // Validate checks a stats snapshot for internal consistency; the runtime

@@ -13,6 +13,7 @@ import (
 	"cloudlb/internal/apps"
 	"cloudlb/internal/charm"
 	"cloudlb/internal/core"
+	"cloudlb/internal/elastic"
 	"cloudlb/internal/interfere"
 	"cloudlb/internal/lb"
 	"cloudlb/internal/machine"
@@ -155,6 +156,10 @@ type Scenario struct {
 	// Hierarchical routes LB statistics and orders along the runtime's
 	// spanning tree instead of a flat gather at PE 0.
 	Hierarchical bool
+	// Faults is an optional schedule of core revocations and replacements
+	// applied to the application's runtime (cloud elasticity; see
+	// internal/elastic). Requires an application.
+	Faults elastic.Schedule
 	// Trace, when non-nil, records timelines.
 	Trace *trace.Recorder
 	// MaxVirtualTime bounds the simulation (default 10000 s).
@@ -175,10 +180,16 @@ type Result struct {
 	// Migrations and LBSteps count the strategy's activity.
 	Migrations int
 	LBSteps    int
+	// Evacuations counts chares moved off revoked cores by the fault
+	// schedule (0 without one).
+	Evacuations int
 	// Events is the number of simulation events the run executed — the
 	// engine-level work metric behind throughput reporting.
 	Events uint64
 }
+
+// testbedCores is the testbed's total core count.
+const testbedCores = 32
 
 // testbed returns the paper's machine shape.
 func testbed(eng *sim.Engine, interactivityBonus float64) *machine.Machine {
@@ -239,6 +250,9 @@ func Run(s Scenario) Result {
 			Name:           "app",
 		})
 		buildApp(appRTS, s, rng)
+		s.Faults.Apply(appRTS)
+	} else if len(s.Faults) > 0 {
+		panic("experiment: Faults require an application (they revoke its cores)")
 	}
 
 	var bg *interfere.Wave2DJob
@@ -314,6 +328,7 @@ func Run(s Scenario) Result {
 		res.AppWall = float64(appRTS.FinishTime())
 		res.Migrations = appRTS.Migrations()
 		res.LBSteps = appRTS.LBSteps()
+		res.Evacuations = appRTS.Evacuations()
 	}
 	if bg != nil {
 		res.BGWall = float64(bg.FinishTime())

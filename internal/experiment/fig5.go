@@ -1,0 +1,120 @@
+package experiment
+
+import (
+	"context"
+
+	"cloudlb/internal/elastic"
+	"cloudlb/internal/sim"
+	"cloudlb/internal/stats"
+)
+
+// ElasticEval is one strategy's outcome under a revocation schedule:
+// wall time against the same strategy's fault-free baseline. It is the
+// elasticity counterpart of the interference penalties of Figure 2 —
+// here the "interference" is a spot revocation that takes a core away
+// mid-run and hands back a replacement later.
+type ElasticEval struct {
+	Strategy    StrategyKind
+	BaseWall    float64 // fault-free wall time (s), mean across seeds
+	FaultWall   float64 // wall time under the schedule (s)
+	PenaltyPct  float64 // timing penalty of the faults
+	Evacuations int     // chares pushed off revoked cores
+	Migrations  int     // strategy migrations in the faulted run
+}
+
+// elasticRunsPerCell is the number of scenarios behind one (strategy,
+// seed) cell of the elasticity matrix: fault-free baseline, then the
+// faulted run.
+const elasticRunsPerCell = 2
+
+// ElasticityScenarios lists the elasticity measurement matrix as a flat
+// batch: for each strategy, for each seed, the strategy's fault-free
+// baseline and its run under the schedule. The flat order is the
+// contract between EvaluateElasticityCtx and its Executor.
+func ElasticityScenarios(app AppKind, cores int, strategies []StrategyKind, seeds []int64, scale float64, faults elastic.Schedule) []Scenario {
+	batch := make([]Scenario, 0, len(strategies)*len(seeds)*elasticRunsPerCell)
+	for _, k := range strategies {
+		for _, seed := range seeds {
+			batch = append(batch,
+				Scenario{App: app, Cores: cores, Strategy: k, Seed: seed, Scale: scale},
+				Scenario{App: app, Cores: cores, Strategy: k, Seed: seed, Scale: scale, Faults: faults},
+			)
+		}
+	}
+	return batch
+}
+
+// EvaluateElasticity runs the elasticity matrix sequentially; see
+// EvaluateElasticityCtx.
+func EvaluateElasticity(app AppKind, cores int, strategies []StrategyKind, seeds []int64, scale float64, faults elastic.Schedule) []ElasticEval {
+	evals, err := EvaluateElasticityCtx(context.Background(), app, cores, strategies, seeds, scale, faults, RunAll)
+	if err != nil {
+		panic(err) // unreachable: RunAll under a background context cannot fail
+	}
+	return evals
+}
+
+// EvaluateElasticityCtx measures each strategy's timing penalty under
+// the revocation schedule, averaged over seeds, with the batch
+// dispatched through exec. As with EvaluateCtx, the assembled rows are
+// identical for every executor and worker count.
+func EvaluateElasticityCtx(ctx context.Context, app AppKind, cores int, strategies []StrategyKind, seeds []int64, scale float64, faults elastic.Schedule, exec Executor) ([]ElasticEval, error) {
+	results, err := exec(ctx, ElasticityScenarios(app, cores, strategies, seeds, scale, faults))
+	if err != nil {
+		return nil, err
+	}
+	var out []ElasticEval
+	for ki, k := range strategies {
+		var baseW, faultW, evacs, migs []float64
+		for si := range seeds {
+			cell := results[(ki*len(seeds)+si)*elasticRunsPerCell:]
+			base, faulted := cell[0], cell[1]
+			baseW = append(baseW, base.AppWall)
+			faultW = append(faultW, faulted.AppWall)
+			evacs = append(evacs, float64(faulted.Evacuations))
+			migs = append(migs, float64(faulted.Migrations))
+		}
+		out = append(out, ElasticEval{
+			Strategy:    k,
+			BaseWall:    stats.Mean(baseW),
+			FaultWall:   stats.Mean(faultW),
+			PenaltyPct:  stats.TimingPenaltyPct(stats.Mean(faultW), stats.Mean(baseW)),
+			Evacuations: int(stats.Mean(evacs) + 0.5),
+			Migrations:  int(stats.Mean(migs) + 0.5),
+		})
+	}
+	return out, nil
+}
+
+// Fig5Table renders the elasticity evaluation: timing penalty of a spot
+// revocation and replacement, per strategy.
+func Fig5Table(evals []ElasticEval) *stats.Table {
+	t := stats.NewTable("strategy", "base s", "faulted s", "penalty %", "evacuations", "migrations")
+	for _, e := range evals {
+		t.AddRow(e.Strategy.String(), e.BaseWall, e.FaultWall, e.PenaltyPct, e.Evacuations, e.Migrations)
+	}
+	return t
+}
+
+// Fig5Schedule is the canonical single-revocation script used by the
+// committed Figure 5 artifact, sized relative to the application's solo
+// wall time (Wave2D weak scaling, see the workload constants): the PE in
+// the middle of the allocation gets a short revocation warning at ~25%
+// of the run and loses its core at 30%; at 50% a replacement core — the
+// first one outside the allocation, or the original core when the
+// allocation spans the whole testbed — brings the PE back.
+func Fig5Schedule(cores int, scale float64) elastic.Schedule {
+	perIter := float64(charesPerCore*stencilBlock*stencilBlock) * waveCostPerCell
+	total := sim.Time(perIter * float64(scaleIters(waveIters, scale)))
+	replacement := cores
+	if replacement >= testbedCores {
+		replacement = -1
+	}
+	return elastic.Schedule{{
+		PE:              cores / 2,
+		At:              total * 0.30,
+		Warning:         total * 0.05,
+		Restore:         total * 0.50,
+		ReplacementCore: replacement,
+	}}
+}

@@ -1,0 +1,100 @@
+package lb
+
+import (
+	"testing"
+
+	"cloudlb/internal/core"
+)
+
+// offlineStats builds a 4-core snapshot with PE 0 revoked: two tasks are
+// stranded on it and the live cores carry uneven load.
+func offlineStats() core.Stats {
+	return core.Stats{
+		Cores: []core.CoreSample{
+			{PE: 0, Speed: 1, Offline: true},
+			{PE: 1, Speed: 1},
+			{PE: 2, Speed: 1},
+			{PE: 3, Speed: 1},
+		},
+		Tasks: []core.Task{
+			{ID: core.TaskID{Array: "a", Index: 0}, PE: 0, Load: 2, Bytes: 1 << 20},
+			{ID: core.TaskID{Array: "a", Index: 1}, PE: 0, Load: 1, Bytes: 1 << 20},
+			{ID: core.TaskID{Array: "a", Index: 2}, PE: 1, Load: 3, Bytes: 1 << 20},
+			{ID: core.TaskID{Array: "a", Index: 3}, PE: 2, Load: 1, Bytes: 1 << 20},
+			{ID: core.TaskID{Array: "a", Index: 4}, PE: 3, Load: 1, Bytes: 1 << 20},
+		},
+		WallSinceLB: 10,
+	}
+}
+
+// checkEvacuated asserts no move targets the offline PE, every stranded
+// task is moved exactly once, and no task has two moves.
+func checkEvacuated(t *testing.T, s core.Stats, moves []core.Move) {
+	t.Helper()
+	seen := map[core.TaskID]bool{}
+	for _, m := range moves {
+		if m.To == 0 {
+			t.Fatalf("move onto offline PE 0: %v", moves)
+		}
+		if seen[m.Task] {
+			t.Fatalf("duplicate move for %v: %v", m.Task, moves)
+		}
+		seen[m.Task] = true
+	}
+	for _, task := range s.Tasks {
+		if task.PE == 0 && !seen[task.ID] {
+			t.Fatalf("stranded task %v not evacuated: %v", task.ID, moves)
+		}
+	}
+}
+
+func TestGreedyLBSkipsOfflineCores(t *testing.T) {
+	s := offlineStats()
+	checkEvacuated(t, s, GreedyLB{}.Plan(s))
+}
+
+func TestGreedyLBAllOffline(t *testing.T) {
+	s := offlineStats()
+	for i := range s.Cores {
+		s.Cores[i].Offline = true
+	}
+	if moves := (GreedyLB{}).Plan(s); moves != nil {
+		t.Fatalf("moves %v with every core offline", moves)
+	}
+}
+
+func TestThresholdLBEvacuatesOfflineCore(t *testing.T) {
+	s := offlineStats()
+	checkEvacuated(t, s, (&ThresholdLB{}).Plan(s))
+}
+
+func TestRefineSwapLBEvacuatesOfflineCore(t *testing.T) {
+	s := offlineStats()
+	checkEvacuated(t, s, (&RefineSwapLB{}).Plan(s))
+}
+
+func TestRefineInternalLBPreservesOfflineFlag(t *testing.T) {
+	// The ablation zeroes background load but must still respect
+	// revocations: blindness to interference is the experiment, blindness
+	// to dead cores would just crash the run.
+	s := offlineStats()
+	for i := range s.Cores {
+		s.Cores[i].Background = 5
+	}
+	checkEvacuated(t, s, (&RefineInternalLB{}).Plan(s))
+}
+
+func TestMigrationCostAwareNeverSuppressesEvacuation(t *testing.T) {
+	s := offlineStats()
+	// A bandwidth this low prices any migration far above its gain; only
+	// the evacuation override can let the plan through.
+	m := &MigrationCostAwareLB{Inner: &core.RefineLB{}, BytesPerSecond: 1}
+	moves := m.Plan(s)
+	if len(moves) == 0 {
+		t.Fatal("cost gating suppressed an evacuation")
+	}
+	if m.Skipped != 0 {
+		t.Fatalf("evacuation counted as skipped (%d)", m.Skipped)
+	}
+	checkEvacuated(t, s, moves)
+}

@@ -71,9 +71,14 @@ func (r *RefineSwapLB) Plan(s core.Stats) []core.Move {
 	}
 
 	for n := 0; n < maxSwaps; n++ {
-		// Find the most overloaded core still beyond tolerance.
+		// Find the most overloaded online core still beyond tolerance.
+		// Offline cores were drained by the inner refinement and take part
+		// in no swap, in either role.
 		donor := -1
 		for ci := range loads {
+			if s.Cores[ci].Offline {
+				continue
+			}
 			if loads[ci]-tavg > eps && (donor < 0 || loads[ci] > loads[donor]) {
 				donor = ci
 			}
@@ -110,7 +115,7 @@ func (r *RefineSwapLB) bestSwap(s core.Stats, loads []float64, tasksOf [][]int, 
 	bestMax := loads[donor]
 	donorTasks := ordered(s, tasksOf[donor])
 	for ci := range loads {
-		if ci == donor {
+		if ci == donor || s.Cores[ci].Offline {
 			continue
 		}
 		for _, a := range donorTasks {

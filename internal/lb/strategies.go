@@ -54,12 +54,19 @@ func (GreedyLB) Plan(s core.Stats) []core.Move {
 	order := core.SortTasksByLoadDesc(s, all)
 	var moves []core.Move
 	for _, ti := range order {
-		best := 0
-		for ci := 1; ci < len(loads); ci++ {
-			if loads[ci] < loads[best] ||
+		// Least-loaded online core; a revoked core must never receive work.
+		best := -1
+		for ci := range loads {
+			if s.Cores[ci].Offline {
+				continue
+			}
+			if best < 0 || loads[ci] < loads[best] ||
 				(loads[ci] == loads[best] && s.Cores[ci].PE < s.Cores[best].PE) {
 				best = ci
 			}
+		}
+		if best < 0 {
+			return nil // no live core anywhere
 		}
 		loads[best] += s.Tasks[ti].Load
 		if s.Cores[best].PE != s.Tasks[ti].PE {
@@ -114,6 +121,7 @@ func (t *ThresholdLB) Plan(s core.Stats) []core.Move {
 	if frac <= 0 {
 		frac = 0.2
 	}
+	s, forced := core.DrainOffline(s)
 	tavg := core.TAvg(s)
 	loads, tasksOf := core.CoreLoads(s)
 	// Deterministic order: scan cores by PE.
@@ -124,6 +132,9 @@ func (t *ThresholdLB) Plan(s core.Stats) []core.Move {
 	sort.Slice(order, func(a, b int) bool { return s.Cores[order[a]].PE < s.Cores[order[b]].PE })
 	var moves []core.Move
 	for _, ci := range order {
+		if s.Cores[ci].Offline {
+			continue // already drained; never a donor or destination
+		}
 		if loads[ci] <= tavg*(1+frac) {
 			continue
 		}
@@ -135,10 +146,10 @@ func (t *ThresholdLB) Plan(s core.Stats) []core.Move {
 		if s.Tasks[ti].Load <= 0 {
 			continue
 		}
-		// Least-loaded destination.
+		// Least-loaded online destination.
 		best := -1
 		for di := range loads {
-			if di == ci {
+			if di == ci || s.Cores[di].Offline {
 				continue
 			}
 			if best < 0 || loads[di] < loads[best] ||
@@ -153,7 +164,7 @@ func (t *ThresholdLB) Plan(s core.Stats) []core.Move {
 		loads[ci] -= s.Tasks[ti].Load
 		loads[best] += s.Tasks[ti].Load
 	}
-	return moves
+	return core.MergeMoves(forced, moves)
 }
 
 // MigrationCostAwareLB implements the strategy sketched in the paper's
@@ -186,6 +197,22 @@ func (m *MigrationCostAwareLB) Plan(s core.Stats) []core.Move {
 	moves := m.Inner.Plan(s)
 	if len(moves) == 0 {
 		return nil
+	}
+	// Evacuations are not optional: if any task is stranded on a revoked
+	// core the plan commits regardless of predicted gain, because the cost
+	// of leaving the object there is losing it, not a slow iteration.
+	offline := make(map[int]bool)
+	for _, c := range s.Cores {
+		if c.Offline {
+			offline[c.PE] = true
+		}
+	}
+	if len(offline) > 0 {
+		for _, t := range s.Tasks {
+			if offline[t.PE] {
+				return moves
+			}
+		}
 	}
 	loads, _ := core.CoreLoads(s)
 	before := maxOf(loads)

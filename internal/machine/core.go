@@ -20,6 +20,7 @@ type Core struct {
 	speed float64
 
 	active []*Thread // runnable threads currently sharing the core
+	online bool
 
 	lastSettle sim.Time
 	busy       sim.Time // cumulative time with >=1 runnable thread
@@ -47,6 +48,38 @@ func (c *Core) SetSpeed(s float64) {
 
 // NumRunnable reports how many threads currently share the core.
 func (c *Core) NumRunnable() int { return len(c.active) }
+
+// Online reports whether the core is serving CPU. Cores start online; a
+// cloud provider revoking the underlying instance takes them offline.
+func (c *Core) Online() bool { return c.online }
+
+// SetOffline removes the core from service, modelling the revocation of a
+// preemptible cloud instance. The caller must have drained the core first
+// — taking a core offline with runnable threads panics, because silently
+// freezing in-flight bursts would deadlock the runtime on top of it. A
+// sleeping thread may stay pinned here, but starting a burst on an offline
+// core panics until SetOnline is called.
+func (c *Core) SetOffline() {
+	if !c.online {
+		panic(fmt.Sprintf("machine: core %d is already offline", c.ID))
+	}
+	c.settle()
+	if len(c.active) > 0 {
+		panic(fmt.Sprintf("machine: core %d taken offline with %d runnable threads", c.ID, len(c.active)))
+	}
+	c.online = false
+}
+
+// SetOnline returns a previously revoked core to service (a replacement
+// instance coming up). The time spent offline has accumulated as idle time,
+// so /proc/stat deltas spanning the outage still sum to wall time.
+func (c *Core) SetOnline() {
+	if c.online {
+		panic(fmt.Sprintf("machine: core %d is already online", c.ID))
+	}
+	c.settle()
+	c.online = true
+}
 
 // ProcStat returns cumulative busy and idle wall time for the core, as an
 // operating system would expose through /proc/stat. Callers diff successive
@@ -151,6 +184,9 @@ func (c *Core) onCompletion() {
 }
 
 func (c *Core) add(th *Thread) {
+	if !c.online {
+		panic(fmt.Sprintf("machine: thread %q started on offline core %d", th.name, c.ID))
+	}
 	c.settle()
 	c.active = append(c.active, th)
 	c.arm()
@@ -293,6 +329,23 @@ func (t *Thread) Migrate(dst *Core) {
 		panic(fmt.Sprintf("machine: cannot migrate running thread %q", t.name))
 	}
 	t.core = dst
+}
+
+// FinishNow forces an in-flight burst to complete at the current instant,
+// firing its completion callback synchronously. It models the final slice a
+// preempted instance gets before revocation: the burst's remaining demand is
+// forfeited (not charged as CPU time) but the burst counts as served, so the
+// thread's owner observes a normal completion and the thread is immediately
+// migratable. FinishNow on an idle thread is a no-op.
+func (t *Thread) FinishNow() {
+	if !t.running {
+		return
+	}
+	t.gen++ // discard a pending zero-demand completion event
+	if t.demand > 0 {
+		t.core.remove(t)
+	}
+	t.finishBurst()
 }
 
 // Abort cancels an in-flight burst without firing its completion callback,

@@ -91,10 +91,11 @@ func New(eng *sim.Engine, cfg Config) *Machine {
 		node := &Node{ID: n}
 		for c := 0; c < cfg.CoresPerNode; c++ {
 			core := &Core{
-				ID:    n*cfg.CoresPerNode + c,
-				node:  node,
-				m:     m,
-				speed: cfg.CoreSpeed,
+				ID:     n*cfg.CoresPerNode + c,
+				node:   node,
+				m:      m,
+				speed:  cfg.CoreSpeed,
+				online: true,
 			}
 			node.cores = append(node.cores, core)
 			m.cores = append(m.cores, core)
@@ -112,6 +113,17 @@ func (m *Machine) Config() Config { return m.cfg }
 
 // NumCores reports the total number of cores.
 func (m *Machine) NumCores() int { return len(m.cores) }
+
+// NumOnline reports how many cores are currently in service.
+func (m *Machine) NumOnline() int {
+	n := 0
+	for _, c := range m.cores {
+		if c.online {
+			n++
+		}
+	}
+	return n
+}
 
 // NumNodes reports the number of nodes.
 func (m *Machine) NumNodes() int { return len(m.nodes) }

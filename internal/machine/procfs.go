@@ -3,6 +3,7 @@ package machine
 import (
 	"bufio"
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -10,6 +11,13 @@ import (
 // jiffiesPerSecond mirrors Linux's USER_HZ: /proc/stat counts in 10 ms
 // ticks.
 const jiffiesPerSecond = 100
+
+// toJiffies converts seconds to jiffies, rounding to the nearest tick.
+// Truncation here would make repeated delta-sampling lose up to a jiffy per
+// sample and drift from the simulator's ground truth.
+func toJiffies(seconds float64) int64 {
+	return int64(math.Round(seconds * jiffiesPerSecond))
+}
 
 // ProcStatText renders the machine's CPU accounting in the format of
 // Linux's /proc/stat (an aggregate "cpu" line followed by per-core
@@ -22,9 +30,14 @@ func (m *Machine) ProcStatText() string {
 	var busySum, idleSum int64
 	lines := make([]string, 0, m.NumCores())
 	for _, c := range m.cores {
+		if !c.online {
+			// Linux drops offlined CPUs from /proc/stat entirely; a revoked
+			// core must not look like an idle one to a load balancer.
+			continue
+		}
 		busy, idle := c.ProcStat()
-		bj := int64(float64(busy) * jiffiesPerSecond)
-		ij := int64(float64(idle) * jiffiesPerSecond)
+		bj := toJiffies(float64(busy))
+		ij := toJiffies(float64(idle))
 		busySum += bj
 		idleSum += ij
 		lines = append(lines, fmt.Sprintf("cpu%d %d 0 0 %d 0 0 0 0 0 0", c.ID, bj, ij))
@@ -43,8 +56,20 @@ type CPUSample struct {
 	Busy, Idle float64
 }
 
+// Positions of the time fields on a /proc/stat cpu line, counted after the
+// "cpuN" label: user nice system idle iowait irq softirq steal. Guest time
+// (fields 9-10) is already folded into user by the kernel and is skipped.
+var (
+	procStatBusyFields = []int{1, 2, 3, 6, 7, 8} // user nice system irq softirq steal
+	procStatIdleFields = []int{4, 5}             // idle iowait
+)
+
 // ParseProcStat parses the format produced by ProcStatText (and by Linux
-// for the fields used here), returning one sample per line.
+// for the fields used here), returning one sample per line. Busy time sums
+// every non-idle field (user, nice, system, irq, softirq, steal): the Eq. 2
+// background-load estimate O_p undercounts interference if any of them is
+// dropped. Iowait counts with idle, matching the paper's idle-time reading.
+// Fields beyond idle are optional, as on old kernels.
 func ParseProcStat(text string) ([]CPUSample, error) {
 	var out []CPUSample
 	sc := bufio.NewScanner(strings.NewReader(text))
@@ -65,17 +90,31 @@ func ParseProcStat(text string) ([]CPUSample, error) {
 			}
 			core = n
 		}
-		user, err := strconv.ParseInt(fields[1], 10, 64)
-		if err != nil {
-			return nil, fmt.Errorf("machine: bad user jiffies in %q", line)
+		sum := func(idxs []int) (int64, error) {
+			var total int64
+			for _, i := range idxs {
+				if i >= len(fields) {
+					continue
+				}
+				v, err := strconv.ParseInt(fields[i], 10, 64)
+				if err != nil {
+					return 0, fmt.Errorf("machine: bad jiffies field %d in %q", i, line)
+				}
+				total += v
+			}
+			return total, nil
 		}
-		idle, err := strconv.ParseInt(fields[4], 10, 64)
+		busy, err := sum(procStatBusyFields)
 		if err != nil {
-			return nil, fmt.Errorf("machine: bad idle jiffies in %q", line)
+			return nil, err
+		}
+		idle, err := sum(procStatIdleFields)
+		if err != nil {
+			return nil, err
 		}
 		out = append(out, CPUSample{
 			Core: core,
-			Busy: float64(user) / jiffiesPerSecond,
+			Busy: float64(busy) / jiffiesPerSecond,
 			Idle: float64(idle) / jiffiesPerSecond,
 		})
 	}

@@ -39,9 +39,16 @@ func TestProcStatTextMatchesGroundTruth(t *testing.T) {
 	}
 }
 
+// Regression: ParseProcStat used to count only the user field as busy, so
+// system, irq, softirq and steal time vanished from the background-load
+// estimate. All non-idle fields must be summed; iowait stays with idle
+// (the paper's scheme reads "CPU was not running anything" time, and a
+// core waiting on I/O is available to background load just like an idle
+// one).
 func TestParseProcStatRealLinuxShape(t *testing.T) {
-	// A line shaped like real /proc/stat output (extra fields present).
-	text := "cpu  123 0 456 78900 12 0 3 0 0 0\ncpu0 123 0 456 78900 12 0 3 0 0 0\n"
+	// A line shaped like real /proc/stat output on a modern kernel:
+	// user nice system idle iowait irq softirq steal guest guest_nice.
+	text := "cpu  123 8 456 78900 12 5 3 7 0 0\ncpu0 123 8 456 78900 12 5 3 7 0 0\n"
 	samples, err := ParseProcStat(text)
 	if err != nil {
 		t.Fatal(err)
@@ -49,8 +56,64 @@ func TestParseProcStatRealLinuxShape(t *testing.T) {
 	if len(samples) != 2 || samples[0].Core != -1 || samples[1].Core != 0 {
 		t.Fatalf("parsed %+v", samples)
 	}
-	if samples[1].Busy != 1.23 || samples[1].Idle != 789 {
-		t.Fatalf("core0 busy=%v idle=%v", samples[1].Busy, samples[1].Idle)
+	// Busy = user+nice+system+irq+softirq+steal = 123+8+456+5+3+7 = 602
+	// jiffies; idle = idle+iowait = 78912 jiffies.
+	if samples[1].Busy != 6.02 || samples[1].Idle != 789.12 {
+		t.Fatalf("core0 busy=%v idle=%v, want 6.02/789.12", samples[1].Busy, samples[1].Idle)
+	}
+}
+
+// Old kernels emit only user nice system idle; everything past idle must be
+// optional.
+func TestParseProcStatOldKernelShape(t *testing.T) {
+	samples, err := ParseProcStat("cpu0 100 2 50 300\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(samples) != 1 {
+		t.Fatalf("parsed %+v", samples)
+	}
+	if samples[0].Busy != 1.52 || samples[0].Idle != 3 {
+		t.Fatalf("busy=%v idle=%v, want 1.52/3", samples[0].Busy, samples[0].Idle)
+	}
+}
+
+// Regression: ProcStatText used to truncate seconds to jiffies with
+// int64(x*100), so each sample could under-read by up to a full jiffy and
+// deltas between two samples drifted from the simulator's ground truth.
+// Rounding keeps every sample within half a jiffy.
+func TestProcStatTextRoundsJiffies(t *testing.T) {
+	const burst = 0.508 // 50.8 jiffies: truncation reads 0.50, rounding 0.51
+	eng, m := newTestMachine(1, 1)
+	th := m.NewThread("a", m.Core(0), 1)
+	th.Run(burst, func() {})
+	if err := eng.RunUntil(1); err != nil {
+		t.Fatal(err)
+	}
+	first, err := ParseProcStat(m.ProcStatText())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := first[1].Busy; math.Abs(got-burst) > 0.005+1e-9 {
+		t.Fatalf("first sample busy=%v, want within half a jiffy of %v", got, burst)
+	}
+
+	th.Run(burst, func() {})
+	if err := eng.RunUntil(2); err != nil {
+		t.Fatal(err)
+	}
+	second, err := ParseProcStat(m.ProcStatText())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := second[1].Busy; math.Abs(got-2*burst) > 0.005+1e-9 {
+		t.Fatalf("second sample busy=%v, want within half a jiffy of %v", got, 2*burst)
+	}
+	// The delta a /proc/stat consumer computes between two samples must
+	// track the true busy time to within one jiffy (half a jiffy of error
+	// on each endpoint).
+	if delta := second[1].Busy - first[1].Busy; math.Abs(delta-burst) > 0.01+1e-9 {
+		t.Fatalf("sampled busy delta %v, want within one jiffy of %v", delta, burst)
 	}
 }
 

@@ -34,7 +34,12 @@ func Map[T, R any](ctx context.Context, workers int, items []T, fn func(ctx cont
 	}
 	results := make([]R, len(items))
 	if len(items) == 0 {
-		return results, ctx.Err()
+		// Honor the contract even here: on error, no partial (or empty)
+		// results escape.
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return results, nil
 	}
 
 	wctx, cancel := context.WithCancel(ctx)

@@ -132,6 +132,24 @@ func TestMapEmptyBatch(t *testing.T) {
 	}
 }
 
+// Regression: the empty-batch fast path used to return a non-nil results
+// slice alongside the context error, contradicting the documented "on any
+// error the partial results are discarded" contract.
+func TestMapEmptyBatchCancelledContextReturnsNilResults(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	got, err := Map(ctx, 4, nil, func(_ context.Context, i, _ int) (int, error) {
+		t.Fatal("fn called for empty batch")
+		return 0, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got != nil {
+		t.Fatalf("got %v alongside an error; results must be nil on every error path", got)
+	}
+}
+
 func TestMapDefaultsWorkers(t *testing.T) {
 	// workers <= 0 must still run everything (GOMAXPROCS default).
 	got, err := Map(context.Background(), 0, []int{1, 2, 3}, func(_ context.Context, i, v int) (int, error) {

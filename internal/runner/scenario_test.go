@@ -50,6 +50,41 @@ func TestParallelEvaluateMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestParallelElasticityMatchesAcrossWorkerCounts pins the same contract
+// for the elasticity batch behind the committed Figure 5 artifact: a
+// preemption schedule — core revoked mid-run, replacement later — must
+// produce bit-identical rows at every worker count.
+func TestParallelElasticityMatchesAcrossWorkerCounts(t *testing.T) {
+	app := experiment.Wave2D
+	const cores, scale = 4, 0.25
+	strategies := []experiment.StrategyKind{experiment.NoLB, experiment.Refine}
+	seeds := []int64{1, 2}
+	faults := experiment.Fig5Schedule(cores, scale)
+
+	seq, err := experiment.EvaluateElasticityCtx(context.Background(), app, cores, strategies, seeds, scale, faults, experiment.RunAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq[1].Evacuations == 0 {
+		t.Fatal("schedule revoked nothing — the batch is not exercising elasticity")
+	}
+	for _, workers := range []int{1, 2, 8} {
+		pool := &Pool{Workers: workers}
+		par, err := experiment.EvaluateElasticityCtx(context.Background(), app, cores, strategies, seeds, scale, faults, pool.Executor())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(par) != len(seq) {
+			t.Fatalf("%d workers: %d rows, want %d", workers, len(par), len(seq))
+		}
+		for i := range seq {
+			if seq[i] != par[i] {
+				t.Fatalf("%d workers: row %d differs:\nsequential: %+v\nparallel:   %+v", workers, i, seq[i], par[i])
+			}
+		}
+	}
+}
+
 func TestRunBatchSlotsResultsByIndex(t *testing.T) {
 	// Distinct seeds give distinct outcomes; each slot must hold its own.
 	batch := []experiment.Scenario{

@@ -153,29 +153,34 @@ func (e *Engine) Step() bool {
 	return false
 }
 
-// Run fires events until none remain. It returns an error if the configured
-// event limit is exceeded.
+// Run fires events until none remain. It returns an error if firing the
+// next event would exceed the configured event limit: with SetEventLimit(n)
+// exactly n events may fire, and the error is raised in place of the
+// (n+1)th.
 func (e *Engine) Run() error {
-	for e.Step() {
-		if e.limit > 0 && e.executed > e.limit {
+	for {
+		if e.limit > 0 && e.executed >= e.limit && e.peek() != nil {
 			return fmt.Errorf("sim: event limit %d exceeded at t=%v", e.limit, e.now)
 		}
+		if !e.Step() {
+			return nil
+		}
 	}
-	return nil
 }
 
 // RunUntil fires events with timestamps <= deadline, then advances the clock
-// to the deadline. Events scheduled beyond the deadline stay pending.
+// to the deadline. Events scheduled beyond the deadline stay pending. The
+// event limit is enforced as in Run: the (limit+1)th event never fires.
 func (e *Engine) RunUntil(deadline Time) error {
 	for {
 		ev := e.peek()
 		if ev == nil || ev.at > deadline {
 			break
 		}
-		e.Step()
-		if e.limit > 0 && e.executed > e.limit {
+		if e.limit > 0 && e.executed >= e.limit {
 			return fmt.Errorf("sim: event limit %d exceeded at t=%v", e.limit, e.now)
 		}
+		e.Step()
 	}
 	if deadline > e.now {
 		e.now = deadline

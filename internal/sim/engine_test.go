@@ -166,6 +166,62 @@ func TestEventLimitAborts(t *testing.T) {
 	}
 }
 
+// Regression: SetEventLimit(n) used to allow n+1 events because Run checked
+// `executed > limit` only after stepping. Exactly n events may fire; the
+// (n+1)th must be refused, and a budget of exactly n must not error.
+func TestEventLimitExact(t *testing.T) {
+	e := NewEngine()
+	e.SetEventLimit(3)
+	fired := 0
+	for i := 0; i < 3; i++ {
+		e.At(Time(i), func() { fired++ })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatalf("limit 3 must allow exactly 3 events: %v", err)
+	}
+	if fired != 3 || e.Executed() != 3 {
+		t.Fatalf("fired=%d executed=%d, want 3/3", fired, e.Executed())
+	}
+
+	e = NewEngine()
+	e.SetEventLimit(2)
+	fired = 0
+	for i := 0; i < 3; i++ {
+		e.At(Time(i), func() { fired++ })
+	}
+	if err := e.Run(); err == nil {
+		t.Fatal("limit 2 with 3 events must error")
+	}
+	if fired != 2 || e.Executed() != 2 {
+		t.Fatalf("fired=%d executed=%d, want exactly the 2 allowed events", fired, e.Executed())
+	}
+}
+
+// The same bound must hold on the RunUntil path.
+func TestEventLimitExactRunUntil(t *testing.T) {
+	e := NewEngine()
+	e.SetEventLimit(2)
+	fired := 0
+	for i := 0; i < 3; i++ {
+		e.At(Time(i), func() { fired++ })
+	}
+	if err := e.RunUntil(10); err == nil {
+		t.Fatal("limit 2 with 3 events must error")
+	}
+	if fired != 2 {
+		t.Fatalf("fired=%d, want 2", fired)
+	}
+
+	e = NewEngine()
+	e.SetEventLimit(3)
+	for i := 0; i < 3; i++ {
+		e.At(Time(i), func() {})
+	}
+	if err := e.RunUntil(10); err != nil {
+		t.Fatalf("limit 3 must allow exactly 3 events: %v", err)
+	}
+}
+
 func TestEventsScheduledDuringRunFire(t *testing.T) {
 	e := NewEngine()
 	count := 0

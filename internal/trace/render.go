@@ -34,6 +34,10 @@ func (r *Recorder) RenderASCII(w io.Writer, cores []int, from, to sim.Time, widt
 	}
 }
 
+// dominantChar picks the cell glyph. An offline span dominates everything
+// ('x'): a revoked core has no activity worth showing. The header legend
+// only lists the glyphs of the original kinds — committed artifacts depend
+// on its exact bytes — so 'x' is documented here instead.
 func dominantChar(segs []Segment, a, b sim.Time) byte {
 	var task, bg, lb sim.Time
 	for _, s := range segs {
@@ -48,6 +52,8 @@ func dominantChar(segs []Segment, a, b sim.Time) byte {
 			y = b
 		}
 		switch s.Kind {
+		case KindOffline:
+			return 'x'
 		case KindTask:
 			task += y - x
 		case KindBackground:
@@ -115,6 +121,8 @@ func segColor(s Segment) string {
 		return "#9e9e9e"
 	case KindLB:
 		return "#e6b422"
+	case KindOffline:
+		return "#2b2b2b"
 	}
 	// Stable pastel per label.
 	h := uint32(2166136261)

@@ -27,6 +27,10 @@ const (
 	KindLB
 	// KindMarker is an instantaneous annotation (e.g. "BG job starts").
 	KindMarker
+	// KindOffline is a span during which the core was revoked and out of
+	// service. Keep this last: the numeric values above are load-bearing for
+	// committed artifacts.
+	KindOffline
 )
 
 func (k Kind) String() string {
@@ -39,6 +43,8 @@ func (k Kind) String() string {
 		return "lb"
 	case KindMarker:
 		return "marker"
+	case KindOffline:
+		return "offline"
 	}
 	return "unknown"
 }

@@ -177,3 +177,23 @@ func TestSegColorStable(t *testing.T) {
 		t.Fatal("label color not stable")
 	}
 }
+
+func TestRenderASCIIOfflineDominates(t *testing.T) {
+	r := NewRecorder()
+	// Task activity overlapping the outage: the outage must win the cell.
+	r.Add(Segment{Core: 0, Start: 0, End: 10, Kind: KindTask, Label: "w[0]"})
+	r.Add(Segment{Core: 0, Start: 2.5, End: 7.5, Kind: KindOffline, Label: "revoked"})
+	var sb strings.Builder
+	r.RenderASCII(&sb, []int{0}, 0, 10, 4)
+	out := sb.String()
+	if !strings.Contains(out, "|#xx#|") {
+		t.Fatalf("offline span not rendered as 'x':\n%s", out)
+	}
+	// The header legend is byte-frozen: committed artifacts embed it.
+	if !strings.Contains(out, "('#'=task 'b'=background 'L'=LB '.'=idle)") {
+		t.Fatalf("legend changed:\n%s", out)
+	}
+	if KindOffline.String() != "offline" {
+		t.Fatal("KindOffline name wrong")
+	}
+}
