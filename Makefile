@@ -1,11 +1,15 @@
 # Development entry points. `make check` is the CI gate: build, vet, the
-# full test suite, and the same suite under the race detector — the
-# scenario runner is the repo's first production concurrency, so every
-# change runs race-clean before it lands.
+# full test suite, the same suite under the race detector — the scenario
+# runner is the repo's first production concurrency, so every change runs
+# race-clean before it lands — and a one-iteration benchmark smoke so the
+# bench bodies compile and run on every verify. Byte-identity of the
+# committed results/ tree is its own gate, `make verify-results`: it is
+# minutes of simulation, so it runs on demand (always after touching
+# anything on the simulation path) rather than inside `make check`.
 
 GO ?= go
 
-.PHONY: build test vet lint race check bench benchjson figures
+.PHONY: build test vet lint race check bench benchjson verify-results figures
 
 build:
 	$(GO) build ./...
@@ -27,10 +31,13 @@ lint: vet
 race:
 	$(GO) test -race ./...
 
-check: build lint test race
+check: build lint test race bench
 
+# Benchmark smoke: every benchmark runs exactly one iteration. Catches
+# bench bodies that rot (they only compile under -bench) without paying
+# full measurement time; real numbers come from `make benchjson`.
 bench:
-	$(GO) test -bench=. -benchmem ./...
+	$(GO) test -bench=. -benchmem -benchtime=1x ./...
 
 # Refresh the committed benchmark record (ns/op, allocs/op, events/sec).
 benchjson:
@@ -44,3 +51,19 @@ figures:
 		-csv results -plots results -parallel 0 > results/figures_full.txt
 	$(GO) run ./cmd/figures -fig 5 -seeds 3 -scale 1.0 \
 		-csv results -parallel 0 > results/fig5.txt
+
+# Regenerate the full results/ tree into a temp dir and diff it against
+# the committed files. The committed figures are a byte-exact oracle for
+# the simulation's determinism; any divergence is a regression, not noise.
+# The "wrote <path>" status lines in the .txt logs embed the output
+# directory, so the temp path is rewritten to "results" before diffing.
+verify-results:
+	@tmp=$$(mktemp -d) || exit 1; \
+	trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) run ./cmd/figures -fig all -cores 4,8,16,32 -seeds 3 -scale 1.0 \
+		-csv "$$tmp" -plots "$$tmp" -parallel 0 > "$$tmp/figures_full.txt" && \
+	$(GO) run ./cmd/figures -fig 5 -seeds 3 -scale 1.0 \
+		-csv "$$tmp" -parallel 0 > "$$tmp/fig5.txt" && \
+	sed -i "s|$$tmp|results|g" "$$tmp/figures_full.txt" "$$tmp/fig5.txt" && \
+	diff -r --exclude=README.md results "$$tmp" && \
+	echo "results/ reproduced byte-identical"

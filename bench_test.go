@@ -10,30 +10,36 @@ package cloudlb
 import (
 	"testing"
 
-	"cloudlb/internal/apps"
-	"cloudlb/internal/charm"
 	"cloudlb/internal/core"
 	"cloudlb/internal/experiment"
-	"cloudlb/internal/interfere"
 	"cloudlb/internal/lb"
-	"cloudlb/internal/machine"
-	"cloudlb/internal/sim"
 	"cloudlb/internal/trace"
-	"cloudlb/internal/xnet"
 )
 
 // benchScale keeps each iteration under ~a second while leaving enough
 // LB periods for the balancer to converge.
-const benchScale = 0.15
+const benchScale = experiment.BenchScale
 
 var benchSeeds = []int64{1}
 
+// reportEval reports the headline quantities of the widest evaluation
+// row (the one with the most cores), selected by field rather than by
+// slice position so a reordered or truncated core-count list cannot
+// silently change what the metrics describe.
 func reportEval(b *testing.B, evals []experiment.Eval) {
 	b.Helper()
-	last := evals[len(evals)-1]
-	b.ReportMetric(last.PenAppNoLB, "noLB_penalty_%")
-	b.ReportMetric(last.PenAppLB, "LB_penalty_%")
-	b.ReportMetric(float64(last.MigrationsLB), "migrations")
+	if len(evals) == 0 {
+		b.Fatal("experiment produced no evaluations")
+	}
+	widest := evals[0]
+	for _, e := range evals[1:] {
+		if e.Cores > widest.Cores {
+			widest = e
+		}
+	}
+	b.ReportMetric(widest.PenAppNoLB, "noLB_penalty_%")
+	b.ReportMetric(widest.PenAppLB, "LB_penalty_%")
+	b.ReportMetric(float64(widest.MigrationsLB), "migrations")
 }
 
 // BenchmarkFig2Jacobi2D regenerates Figure 2(a): Jacobi2D timing penalty
@@ -108,53 +114,32 @@ func BenchmarkFig3Adaptation(b *testing.B) {
 	}
 }
 
-// ablationWorld builds a 4-core run whose internal imbalance leaves the
-// hogged core lightly loaded: PE 3's chares cost 30% of the others, and a
-// CPU hog occupies core 3. A background-blind balancer mistakes core 3
-// for spare capacity and ships work into the interference; the paper's
-// O_p term (Eq. 2) prevents exactly that.
-func ablationRun(b *testing.B, strategy core.Strategy) float64 {
-	b.Helper()
-	eng := sim.NewEngine()
-	mach := machine.New(eng, machine.Config{Nodes: 1, CoresPerNode: 4, CoreSpeed: 1})
-	net := xnet.New(mach, xnet.DefaultConfig())
-	rts := charm.NewRTS(charm.Config{
-		Machine: mach, Net: net, Cores: []int{0, 1, 2, 3},
-		Strategy: strategy, Name: "abl",
-	})
-	apps.NewStencilApp(rts, apps.StencilConfig{
-		Array: "wave", GridW: 256, GridH: 128, CharesX: 16, CharesY: 8,
-		Iters: 80, SyncEvery: 10, CostPerCell: 3e-6,
-		CostScale: func(i int) float64 {
-			// Blocks whose home PE is 3 (block placement: last quarter
-			// of indices) are cheap.
-			if i >= 96 {
-				return 0.3
-			}
-			return 1
-		},
-		NewKernel: apps.NewWaveKernel(256, 128, 0.4),
-	})
-	interfere.StartHog(mach, interfere.HogConfig{Core: 3, Start: 0})
-	rts.Start()
-	for !rts.Finished() && eng.Now() < 1000 {
-		if err := eng.RunUntil(eng.Now() + 1); err != nil {
-			b.Fatal(err)
-		}
-	}
-	return float64(rts.FinishTime())
-}
-
 // BenchmarkAblationBackgroundTerm (DESIGN.md A1): RefineLB versus the
-// same refinement with the background-load term O_p removed.
+// same refinement with the background-load term O_p removed. The world
+// (experiment.AblationRun) has internal imbalance that leaves the hogged
+// core lightly loaded, the case the paper's O_p term (Eq. 2) exists for.
 func BenchmarkAblationBackgroundTerm(b *testing.B) {
 	var aware, blind float64
 	for i := 0; i < b.N; i++ {
-		aware = ablationRun(b, &core.RefineLB{EpsilonFrac: 0.02})
-		blind = ablationRun(b, &lb.RefineInternalLB{Inner: core.RefineLB{EpsilonFrac: 0.02}})
+		aware = experiment.AblationRun(&core.RefineLB{EpsilonFrac: 0.02})
+		blind = experiment.AblationRun(&lb.RefineInternalLB{Inner: core.RefineLB{EpsilonFrac: 0.02}})
 	}
 	b.ReportMetric(aware, "aware_wall_s")
 	b.ReportMetric(blind, "blind_wall_s")
+}
+
+// BenchmarkIterationSteadyState measures one Wave2D superstep in steady
+// state with load balancing disabled: the runtime's per-iteration cost
+// (edge messages, thread scheduling, kernel work) with no LB machinery
+// and no startup transient, so hot-path regressions are visible
+// separately from the end-to-end figure benches.
+func BenchmarkIterationSteadyState(b *testing.B) {
+	w := experiment.NewSteadyIterBench()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.StepOnce()
+	}
 }
 
 // BenchmarkAblationRefineVsGreedy (DESIGN.md A2): migration counts and

@@ -100,6 +100,17 @@ func benchBoxedBaseline(b *testing.B) {
 	}
 }
 
+// entry converts one testing.Benchmark result into the report row.
+func entry(name string, r testing.BenchmarkResult) benchEntry {
+	return benchEntry{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
 // runBenchJSON runs the benchmark suite and writes the report to path.
 func runBenchJSON(path string, workers int) error {
 	report := benchReport{
@@ -108,25 +119,25 @@ func runBenchJSON(path string, workers int) error {
 		Workers:    workers,
 	}
 
-	engine := testing.Benchmark(benchEngineSchedule)
-	report.Benchmarks = append(report.Benchmarks, benchEntry{
-		Name:         "EngineSchedule",
-		Iterations:   engine.N,
-		NsPerOp:      float64(engine.NsPerOp()),
-		AllocsPerOp:  engine.AllocsPerOp(),
-		BytesPerOp:   engine.AllocedBytesPerOp(),
-		EventsPerSec: 1e9 / float64(engine.NsPerOp()),
-	})
+	engine := entry("EngineSchedule", testing.Benchmark(benchEngineSchedule))
+	engine.EventsPerSec = 1e9 / engine.NsPerOp
+	report.Benchmarks = append(report.Benchmarks, engine)
 
-	boxed := testing.Benchmark(benchBoxedBaseline)
-	report.Benchmarks = append(report.Benchmarks, benchEntry{
-		Name:         "EventHeapBoxedBaseline",
-		Iterations:   boxed.N,
-		NsPerOp:      float64(boxed.NsPerOp()),
-		AllocsPerOp:  boxed.AllocsPerOp(),
-		BytesPerOp:   boxed.AllocedBytesPerOp(),
-		EventsPerSec: 1e9 / float64(boxed.NsPerOp()),
-	})
+	boxed := entry("EventHeapBoxedBaseline", testing.Benchmark(benchBoxedBaseline))
+	boxed.EventsPerSec = 1e9 / boxed.NsPerOp
+	report.Benchmarks = append(report.Benchmarks, boxed)
+
+	// One Wave2D superstep on a live world in steady state, no LB: the
+	// hot path the pooling work targets, isolated from startup and LB
+	// machinery. The world is built once, outside the timed region.
+	steady := experiment.NewSteadyIterBench()
+	report.Benchmarks = append(report.Benchmarks, entry("IterationSteadyState",
+		testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				steady.StepOnce()
+			}
+		})))
 
 	// A whole Figure 2(a) panel cell through the scenario pool: throughput
 	// here is simulated events per real second, the headline number the
@@ -134,7 +145,7 @@ func runBenchJSON(path string, workers int) error {
 	var panelEvents uint64
 	pool := &runner.Pool{Workers: workers}
 	batch := experiment.EvaluateScenarios(experiment.Jacobi2D, []int{4}, []int64{1}, 0.15)
-	panel := testing.Benchmark(func(b *testing.B) {
+	panel := entry("Fig2aPanelCell", testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			_, stats, err := pool.RunBatch(context.Background(), batch)
@@ -143,15 +154,23 @@ func runBenchJSON(path string, workers int) error {
 			}
 			panelEvents = stats.Events
 		}
-	})
-	report.Benchmarks = append(report.Benchmarks, benchEntry{
-		Name:         "Fig2aPanelCell",
-		Iterations:   panel.N,
-		NsPerOp:      float64(panel.NsPerOp()),
-		AllocsPerOp:  panel.AllocsPerOp(),
-		BytesPerOp:   panel.AllocedBytesPerOp(),
-		EventsPerSec: float64(panelEvents) / (float64(panel.NsPerOp()) / 1e9),
-	})
+	}))
+	panel.EventsPerSec = float64(panelEvents) / (panel.NsPerOp / 1e9)
+	report.Benchmarks = append(report.Benchmarks, panel)
+
+	// Every figure and ablation bench from the root `go test -bench`
+	// suite, via the shared workload set, so allocation and timing
+	// regressions in any artifact's pipeline land in the committed record.
+	for _, nb := range experiment.FigureBenchmarks() {
+		run := nb.Run
+		report.Benchmarks = append(report.Benchmarks, entry(nb.Name,
+			testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					run()
+				}
+			})))
+	}
 
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {

@@ -24,6 +24,7 @@ import (
 
 	"cloudlb/internal/experiment"
 	"cloudlb/internal/plot"
+	"cloudlb/internal/profiling"
 	"cloudlb/internal/runner"
 	"cloudlb/internal/sim"
 )
@@ -85,10 +86,22 @@ func main() {
 	width := flag.Int("width", 100, "ASCII timeline width")
 	parallel := flag.Int("parallel", 0, "concurrent scenario workers (0 = GOMAXPROCS); any value produces identical output")
 	benchJSON := flag.String("benchjson", "", "run the engine and figure benchmarks, write JSON results to this path, and exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this path on exit")
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
 
 	if *benchJSON != "" {
 		if err := runBenchJSON(*benchJSON, *parallel); err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		if err := stopProfiles(); err != nil {
 			fmt.Fprintln(os.Stderr, "figures:", err)
 			os.Exit(1)
 		}
@@ -269,6 +282,11 @@ func main() {
 	if scenarios > 0 {
 		fmt.Fprintf(os.Stderr, "figures: %d scenarios, %d simulated events in %.2fs total wall-clock (%.3gM events/s, %d workers)\n",
 			scenarios, events, time.Since(start).Seconds(), float64(events)/wall.Seconds()/1e6, pool.WorkerCount())
+	}
+
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
 	}
 }
 

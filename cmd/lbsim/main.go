@@ -27,6 +27,7 @@ import (
 
 	"cloudlb/internal/elastic"
 	"cloudlb/internal/experiment"
+	"cloudlb/internal/profiling"
 	"cloudlb/internal/runner"
 	"cloudlb/internal/sim"
 	"cloudlb/internal/stats"
@@ -84,7 +85,15 @@ func main() {
 	chromePath := flag.String("chrome", "", "write a Chrome trace-event JSON of the run to this path (single run only)")
 	hier := flag.Bool("hier", false, "use the hierarchical (tree) LB gather instead of the flat gather")
 	preempt := flag.String("preempt", "", "core revocation schedule, comma-separated pe:at:warning:restore:core entries (restore 0 = never, core -1 = original core)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this path on exit")
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbsim:", err)
+		os.Exit(1)
+	}
 
 	appKind, ok := map[string]experiment.AppKind{
 		"jacobi2d": experiment.Jacobi2D,
@@ -209,5 +218,10 @@ func main() {
 		}
 		f.Close()
 		fmt.Printf("trace:          %s\n", *chromePath)
+	}
+
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintln(os.Stderr, "lbsim:", err)
+		os.Exit(1)
 	}
 }

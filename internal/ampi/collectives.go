@@ -2,7 +2,7 @@ package ampi
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"cloudlb/internal/charm"
 )
@@ -103,7 +103,7 @@ func (r *Rank) Gather(root int, data interface{}, bytes int) []interface{} {
 		msg, from := r.recvGather()
 		slots = append(slots, slot{from: from, data: msg})
 	}
-	sort.Slice(slots, func(a, b int) bool { return slots[a].from < slots[b].from })
+	slices.SortFunc(slots, func(a, b slot) int { return a.from - b.from })
 	out := make([]interface{}, len(slots))
 	for i, s := range slots {
 		out[i] = s.data

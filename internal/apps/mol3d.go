@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"cloudlb/internal/charm"
 )
@@ -199,7 +199,7 @@ func (a *Mol3DApp) Particles() []Particle {
 			all = append(all, out...)
 		}
 	}
-	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+	slices.SortFunc(all, func(a, b Particle) int { return a.ID - b.ID })
 	return all
 }
 
@@ -260,7 +260,7 @@ func (c *mdChare) neighbors() []int {
 			}
 		}
 	}
-	sort.Ints(ns)
+	slices.Sort(ns)
 	return ns
 }
 
@@ -530,7 +530,7 @@ func (c *mdChare) sendPositions(ctx *charm.Ctx) {
 	for _, out := range c.outbox {
 		export = append(export, out...)
 	}
-	sort.Slice(export, func(i, j int) bool { return export[i].ID < export[j].ID })
+	slices.SortFunc(export, func(a, b Particle) int { return a.ID - b.ID })
 	for _, ni := range c.neighbors() {
 		movers := c.outbox[ni]
 		delete(c.outbox, ni)

@@ -169,14 +169,20 @@ type stencilChare struct {
 	stopAt      int                       // converged: finish before computing this iteration (0 = run to Iters)
 	finished    bool                      // Done has been signaled
 	futureEdges map[int]map[int][]float64 // iter -> recvDir -> edge
+	nbrs        []int                     // cached neighbors(); the decomposition never changes
 }
 
 // PackSize implements charm.Chare.
 func (c *stencilChare) PackSize() int { return c.kernel.Bytes() + 256 }
 
-// neighbors returns the directions that have a neighboring chare.
+// neighbors returns the directions that have a neighboring chare. The
+// block layout is fixed for the run, so the list is computed once per
+// chare; it is consulted twice per iteration on the simulation hot path.
 func (c *stencilChare) neighbors() []int {
-	var ds []int
+	if c.nbrs != nil {
+		return c.nbrs
+	}
+	ds := make([]int, 0, numDirs)
 	if c.by > 0 {
 		ds = append(ds, dirN)
 	}
@@ -189,6 +195,7 @@ func (c *stencilChare) neighbors() []int {
 	if c.bx < c.app.cfg.CharesX-1 {
 		ds = append(ds, dirE)
 	}
+	c.nbrs = ds
 	return ds
 }
 

@@ -1,0 +1,52 @@
+package charm
+
+import "testing"
+
+// echoChare bounces a message between two chares forever, so the world
+// can be held in steady state for as many events as a measurement needs.
+type echoChare struct {
+	peer ChareID
+}
+
+func (c *echoChare) PackSize() int { return 64 }
+func (c *echoChare) Recv(ctx *Ctx, data interface{}) float64 {
+	switch data.(type) {
+	case Start:
+		if ctx.Self().Index == 0 {
+			ctx.Send(c.peer, tick{}, 64)
+		}
+	case tick:
+		ctx.Send(c.peer, tick{}, 64)
+	}
+	return 0
+}
+
+// TestMessageSteadyStateAllocFree is the allocation-budget gate for the
+// pooled messaging path: once the envelope free list and event free list
+// are primed, a send/deliver/receive cycle must not allocate. The budget
+// is exactly zero — any regression here multiplies by every message of
+// every scenario.
+func TestMessageSteadyStateAllocFree(t *testing.T) {
+	eng, m, n := testWorld(2, 1)
+	r := NewRTS(Config{Machine: m, Net: n, Cores: allCores(m)})
+	r.NewArray("p", 2, func(i int) Chare {
+		return &echoChare{peer: ChareID{Array: "p", Index: 1 - i}}
+	})
+	r.Start()
+	// Prime the pools: the first round trips grow the free lists.
+	for i := 0; i < 2000; i++ {
+		if !eng.Step() {
+			t.Fatal("engine drained during warm-up")
+		}
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 100; i++ {
+			if !eng.Step() {
+				t.Fatal("engine drained mid-measurement")
+			}
+		}
+	})
+	if avg != 0 {
+		t.Errorf("steady-state messaging: %.2f allocs per 100 events, want 0", avg)
+	}
+}

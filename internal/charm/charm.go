@@ -20,7 +20,7 @@ package charm
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"cloudlb/internal/core"
 	"cloudlb/internal/machine"
@@ -90,11 +90,14 @@ func hashPlace(n, p int) []int {
 		x ^= x >> 13
 		hs[i] = hi{x, i}
 	}
-	sort.Slice(hs, func(a, b int) bool {
-		if hs[a].h != hs[b].h {
-			return hs[a].h < hs[b].h
+	slices.SortFunc(hs, func(a, b hi) int {
+		if a.h != b.h {
+			if a.h < b.h {
+				return -1
+			}
+			return 1
 		}
-		return hs[a].i < hs[b].i
+		return a.i - b.i
 	})
 	out := make([]int, n)
 	for rank, e := range hs {
@@ -195,6 +198,20 @@ type RTS struct {
 	// LB step, and the emergency-evacuation counter.
 	pendingElastic []func()
 	evacuations    int
+
+	// msgFree recycles application message envelopes (see appMsg): each
+	// envelope carries its delivery closure with it, so the steady-state
+	// send path schedules network and engine events without allocating.
+	msgFree []*appMsg
+
+	// outsScratch/insScratch are the per-PE migration-order buffers
+	// planMoves fills each LB step, reused across steps.
+	outsScratch [][]core.Move
+	insScratch  []int
+
+	// childrenMemo caches the reduction tree's child lists per PE (the
+	// tree shape is fixed at construction).
+	childrenMemo [][]int
 }
 
 type arrayMeta struct {
@@ -239,6 +256,9 @@ func NewRTS(cfg Config) *RTS {
 	for i, c := range cfg.Cores {
 		r.pes = append(r.pes, newPE(r, i, cfg.Machine.Core(c)))
 	}
+	r.outsScratch = make([][]core.Move, len(r.pes))
+	r.insScratch = make([]int, len(r.pes))
+	r.childrenMemo = make([][]int, len(r.pes))
 	return r
 }
 
@@ -304,17 +324,7 @@ func (r *RTS) Start() {
 	r.started = true
 	for _, p := range r.pes {
 		p.beginInterval()
-		ids := make([]ChareID, 0, len(p.local))
-		for id := range p.local {
-			ids = append(ids, id)
-		}
-		sort.Slice(ids, func(i, j int) bool {
-			if ids[i].Array != ids[j].Array {
-				return ids[i].Array < ids[j].Array
-			}
-			return ids[i].Index < ids[j].Index
-		})
-		for _, id := range ids {
+		for _, id := range p.roster {
 			p.enqueueApp(id, Start{})
 		}
 		p.pump()
@@ -374,6 +384,53 @@ func (r *RTS) chareDone(id ChareID) {
 	}
 }
 
+// appMsg is a pooled application message envelope. Each envelope owns a
+// delivery closure bound once at creation (fn), so the per-message send
+// path — the hottest path in the runtime — schedules its network hop and
+// engine event with zero allocations: the envelope comes off the RTS free
+// list, mirroring the engine's event free list one layer down.
+type appMsg struct {
+	rts   *RTS
+	to    ChareID
+	data  interface{}
+	bytes int
+	dstPE int
+	fn    func()
+}
+
+func (r *RTS) newAppMsg() *appMsg {
+	if n := len(r.msgFree); n > 0 {
+		m := r.msgFree[n-1]
+		r.msgFree[n-1] = nil
+		r.msgFree = r.msgFree[:n-1]
+		return m
+	}
+	m := &appMsg{rts: r}
+	m.fn = m.deliver
+	return m
+}
+
+// deliver fires at the message's network arrival instant. The envelope is
+// released before the payload is processed, so deliveries that trigger
+// further sends (pump running an entry) can immediately reuse it.
+func (m *appMsg) deliver() {
+	r := m.rts
+	r.netInflight--
+	to, data, bytes, dstPE := m.to, m.data, m.bytes, m.dstPE
+	m.data = nil
+	r.msgFree = append(r.msgFree, m)
+	// Re-check location at delivery: the chare may have migrated
+	// while the message was in flight (only possible for messages
+	// crossing an LB step); forward if so, as Charm++ does.
+	if cur := r.location[to]; cur != dstPE {
+		r.send(dstPE, to, data, bytes)
+		return
+	}
+	p := r.pes[dstPE]
+	p.enqueueApp(to, data)
+	p.pump()
+}
+
 // send routes a message between chares, via the interconnect when the
 // destination lives on another PE, or via the intra-node path for local
 // delivery (a real RTS enqueues locally; the intra-node latency stands in
@@ -383,18 +440,10 @@ func (r *RTS) send(fromPE int, to ChareID, data interface{}, bytes int) {
 	if !ok {
 		panic(fmt.Sprintf("charm: send to unknown chare %v", to))
 	}
-	src := r.pes[fromPE].core.ID
-	dst := r.pes[dstPE].core.ID
-	r.netSend(src, dst, bytes, func() {
-		p := r.pes[dstPE]
-		// Re-check location at delivery: the chare may have migrated
-		// while the message was in flight (only possible for messages
-		// crossing an LB step); forward if so, as Charm++ does.
-		if cur := r.location[to]; cur != dstPE {
-			r.send(dstPE, to, data, bytes)
-			return
-		}
-		p.enqueueApp(to, data)
-		p.pump()
-	})
+	m := r.newAppMsg()
+	m.to, m.data, m.bytes, m.dstPE = to, data, bytes, dstPE
+	// In-flight accounting as in netSend, folded into the envelope so
+	// quiescence detection still sees every application message.
+	r.netInflight++
+	r.cfg.Net.Send(r.pes[fromPE].core.ID, r.pes[dstPE].core.ID, bytes, m.fn)
 }

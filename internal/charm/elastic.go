@@ -2,7 +2,6 @@ package charm
 
 import (
 	"fmt"
-	"sort"
 
 	"cloudlb/internal/machine"
 	"cloudlb/internal/sim"
@@ -182,20 +181,12 @@ func (r *RTS) takeOffline(p *pe) {
 // — on a hard kill the core is already gone and the state is read out of
 // node memory — but each destination pays its usual unpack burst.
 func (r *RTS) evacuatePE(p *pe) {
-	ids := make([]ChareID, 0, len(p.local))
-	for id := range p.local {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool {
-		if ids[i].Array != ids[j].Array {
-			return ids[i].Array < ids[j].Array
-		}
-		return ids[i].Index < ids[j].Index
-	})
 	pending := make(map[int]int)
-	for _, id := range ids {
-		obj := p.local[id]
-		delete(p.local, id)
+	// The roster is already in (Array, Index) order; draining from the
+	// front via uninstall preserves exactly the sorted evacuation order.
+	for len(p.roster) > 0 {
+		id := p.roster[0]
+		obj := p.uninstall(id)
 		wall := p.taskWall[id]
 		delete(p.taskWall, id)
 		wasSynced := p.synced[id]
@@ -204,7 +195,6 @@ func (r *RTS) evacuatePE(p *pe) {
 		pending[dst]++
 		r.location[id] = dst
 		r.evacuations++
-		id, obj, wall, wasSynced := id, obj, wall, wasSynced
 		d := r.pes[dst]
 		bytes := obj.PackSize()
 		r.netSend(p.core.ID, d.core.ID, bytes+migrateHeader, func() {

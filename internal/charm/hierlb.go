@@ -50,9 +50,18 @@ type hierOrder struct {
 }
 
 func (p *pe) hierReset() {
+	cs, cd := p.hier.childStats, p.hier.childDone
+	if cs == nil {
+		cs = make(map[int]bool)
+		cd = make(map[int]bool)
+	} else {
+		clear(cs)
+		clear(cd)
+	}
 	p.hier = hierState{
-		childStats: make(map[int]bool),
-		childDone:  make(map[int]bool),
+		childStats: cs,
+		childDone:  cd,
+		reports:    p.hier.reports[:0],
 	}
 }
 

@@ -2,7 +2,7 @@ package charm
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"cloudlb/internal/core"
 	"cloudlb/internal/sim"
@@ -60,6 +60,16 @@ type peStats struct {
 	offline bool
 }
 
+// shipment is one outbound object in a PE's migration manifest. The
+// manifest itself lives in per-PE scratch (pe.shipScratch) reused across
+// LB steps.
+type shipment struct {
+	id    ChareID
+	obj   Chare
+	bytes int
+	to    int
+}
+
 // maybeEnterSync fires when a chare syncs: once every local chare has, the
 // PE measures and reports.
 func (p *pe) maybeEnterSync(self ChareID) {
@@ -106,23 +116,18 @@ func (p *pe) measureStats() peStats {
 
 	st := peStats{pe: p.index, speed: p.core.Speed()}
 	sumTasks := 0.0
-	ids := make([]ChareID, 0, len(p.local))
-	for id := range p.local {
-		ids = append(ids, id)
-	}
-	sort.Slice(ids, func(i, j int) bool {
-		if ids[i].Array != ids[j].Array {
-			return ids[i].Array < ids[j].Array
-		}
-		return ids[i].Index < ids[j].Index
-	})
-	for _, id := range ids {
+	// The roster is already in the canonical (Array, Index) order; the
+	// task records are built into a per-PE scratch reused across steps
+	// (the master copies them into its gather before the next step).
+	p.tasksScratch = p.tasksScratch[:0]
+	for _, id := range p.roster {
 		w := p.taskWall[id]
 		sumTasks += w
-		st.tasks = append(st.tasks, core.Task{
+		p.tasksScratch = append(p.tasksScratch, core.Task{
 			ID: id, PE: p.index, Load: w, Bytes: p.local[id].PackSize(),
 		})
 	}
+	st.tasks = p.tasksScratch
 	// Paper Eq. 2: O_p = T_lb − Σ t_i − t_idle. Interference inflates the
 	// task terms, so the subtraction can go slightly negative; clamp.
 	bg := tlb - sumTasks - idleDelta
@@ -151,7 +156,9 @@ func (r *RTS) masterStats(st peStats) {
 	lb := &r.lb
 	if !lb.active {
 		lb.active = true
-		lb.stats = core.Stats{}
+		lb.stats.Tasks = lb.stats.Tasks[:0]
+		lb.stats.Cores = lb.stats.Cores[:0]
+		lb.stats.WallSinceLB = 0
 		lb.statsCount = 0
 		lb.probed = false
 		lb.doneCount = 0
@@ -215,18 +222,16 @@ func (r *RTS) probeEmpty(p *pe) {
 
 // planMoves sorts and validates the gathered statistics, runs the
 // strategy, applies the new mapping to the location table, and returns
-// the per-PE migration orders and inbound counts. It is shared between
-// the flat gather and the hierarchical tree protocol.
-func (r *RTS) planMoves(stats *core.Stats, wallSince sim.Time) (outs map[int][]core.Move, ins map[int]int, moves []core.Move) {
-	// Deterministic strategy input: sort by PE, tasks by ID.
-	sort.Slice(stats.Cores, func(i, j int) bool { return stats.Cores[i].PE < stats.Cores[j].PE })
-	sort.Slice(stats.Tasks, func(i, j int) bool {
-		a, b := stats.Tasks[i], stats.Tasks[j]
-		if a.ID.Array != b.ID.Array {
-			return a.ID.Array < b.ID.Array
-		}
-		return a.ID.Index < b.ID.Index
-	})
+// the per-PE migration orders and inbound counts, indexed by PE. Both are
+// RTS-level scratch reused across LB steps (a step's orders are consumed
+// before the next step can begin). It is shared between the flat gather
+// and the hierarchical tree protocol.
+func (r *RTS) planMoves(stats *core.Stats, wallSince sim.Time) (outs [][]core.Move, ins []int, moves []core.Move) {
+	// Deterministic strategy input: sort cores by PE, tasks by ID. Both
+	// comparators are strict total orders (PEs and IDs are unique), so the
+	// unstable sort is deterministic.
+	slices.SortFunc(stats.Cores, func(a, b core.CoreSample) int { return a.PE - b.PE })
+	slices.SortFunc(stats.Tasks, func(a, b core.Task) int { return a.ID.Compare(b.ID) })
 	stats.WallSinceLB = float64(wallSince)
 	if err := core.Validate(*stats); err != nil {
 		panic(fmt.Sprintf("charm: invalid LB stats: %v", err))
@@ -234,8 +239,11 @@ func (r *RTS) planMoves(stats *core.Stats, wallSince sim.Time) (outs map[int][]c
 
 	moves = r.cfg.Strategy.Plan(*stats)
 	// Drop no-op moves defensively.
-	outs = make(map[int][]core.Move, len(r.pes))
-	ins = make(map[int]int, len(r.pes))
+	outs, ins = r.outsScratch, r.insScratch
+	for i := range outs {
+		outs[i] = outs[i][:0]
+		ins[i] = 0
+	}
 	for _, m := range moves {
 		from, ok := r.location[m.Task]
 		if !ok {
@@ -289,25 +297,18 @@ func (p *pe) onOrder(order []core.Move, expect int) {
 		return
 	}
 	packCPU := 0.0
-	type shipment struct {
-		id    ChareID
-		obj   Chare
-		bytes int
-		to    int
-	}
-	var ships []shipment
+	p.shipScratch = p.shipScratch[:0]
 	for _, m := range order {
-		obj, ok := p.local[m.Task]
-		if !ok {
+		if _, ok := p.local[m.Task]; !ok {
 			panic(fmt.Sprintf("charm: PE %d ordered to move absent chare %v", p.index, m.Task))
 		}
-		delete(p.local, m.Task)
+		obj := p.uninstall(m.Task)
 		b := obj.PackSize()
 		packCPU += float64(b) * p.rts.cfg.PackCPUPerByte
-		ships = append(ships, shipment{id: m.Task, obj: obj, bytes: b, to: m.To})
+		p.shipScratch = append(p.shipScratch, shipment{id: m.Task, obj: obj, bytes: b, to: m.To})
 	}
 	p.runBurst(packCPU, func() {
-		for _, s := range ships {
+		for _, s := range p.shipScratch {
 			s := s
 			dst := p.rts.pes[s.to]
 			p.rts.netSend(p.core.ID, dst.core.ID, s.bytes+migrateHeader, func() {
@@ -376,29 +377,25 @@ func (r *RTS) masterSyncDone() {
 func (p *pe) onResume() {
 	now := p.rts.eng.Now()
 	p.rts.lbWall += now - p.syncAt
-	p.rts.cfg.Trace.Add(trace.Segment{
-		Core: p.core.ID, Start: p.syncAt, End: now, Kind: trace.KindLB, Label: "lb-step",
-	})
-	wasSynced := p.synced
-	p.beginInterval()
-	ids := make([]ChareID, 0, len(p.local))
-	for id := range p.local {
-		ids = append(ids, id)
+	if rec := p.rts.cfg.Trace; rec != nil {
+		rec.Add(trace.Segment{
+			Core: p.core.ID, Start: p.syncAt, End: now, Kind: trace.KindLB, Label: "lb-step",
+		})
 	}
-	sort.Slice(ids, func(i, j int) bool {
-		if ids[i].Array != ids[j].Array {
-			return ids[i].Array < ids[j].Array
-		}
-		return ids[i].Index < ids[j].Index
-	})
 	// Resume goes exactly to the chares that synced into this step (all of
 	// them, in the absence of faults). A chare evacuated here mid-iteration
 	// never reached its sync point and must not be pushed past it; its own
-	// pending messages drive it on.
-	for _, id := range ids {
-		if wasSynced[id] {
-			p.enqueueApp(id, Resume{})
+	// pending messages drive it on. The recipients are collected in roster
+	// order before beginInterval clears the synced set in place.
+	p.resumeScratch = p.resumeScratch[:0]
+	for _, id := range p.roster {
+		if p.synced[id] {
+			p.resumeScratch = append(p.resumeScratch, id)
 		}
+	}
+	p.beginInterval()
+	for _, id := range p.resumeScratch {
+		p.enqueueApp(id, Resume{})
 	}
 	// The last PE to resume applies any revocation/restore that arrived
 	// mid-step, before application work restarts.

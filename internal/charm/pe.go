@@ -2,7 +2,9 @@ package charm
 
 import (
 	"fmt"
+	"slices"
 
+	"cloudlb/internal/core"
 	"cloudlb/internal/machine"
 	"cloudlb/internal/sim"
 	"cloudlb/internal/trace"
@@ -18,11 +20,26 @@ type pe struct {
 	thread *machine.Thread
 
 	local map[ChareID]Chare
+	// roster caches p.local's keys in (Array, Index) order, maintained
+	// incrementally on install/uninstall. Every deterministic iteration
+	// over a PE's chares (Start, stats gather, resume, evacuation,
+	// reduction delivery) walks this slice instead of rebuilding and
+	// sorting the key set — the committed figures depend on exactly this
+	// order, so the cache must never drift from the map.
+	roster []ChareID
 
 	appQ []appDelivery
 	sysQ []func()
 
 	running bool // an entry method (or pack/unpack burst) is in flight
+
+	// In-flight entry state, valid while running. Kept on the PE (entries
+	// are strictly sequential per PE) so completion needs no per-entry
+	// closure; entryDone is the method value bound once at construction.
+	curTo     ChareID
+	curStart  sim.Time
+	ctx       Ctx
+	entryDone func()
 
 	// Elasticity state. A retired PE executes no application work; its
 	// core is offline (or about to be) until RestorePE.
@@ -44,6 +61,13 @@ type pe struct {
 	arrivedIn int
 	sentStats bool
 	doneSent  bool
+
+	// Per-step scratch, reused across LB steps so the steady state
+	// allocates nothing: the measured task records shipped to the master,
+	// the outbound shipment manifest, and the resume recipient list.
+	tasksScratch  []core.Task
+	shipScratch   []shipment
+	resumeScratch []ChareID
 
 	// PE-local reduction accumulators and subtree-size memos (valid
 	// between LB steps; placements only change inside them).
@@ -70,6 +94,7 @@ func newPE(r *RTS, index int, c *machine.Core) *pe {
 		synced:   make(map[ChareID]bool),
 	}
 	p.thread = r.cfg.Machine.NewThread(fmt.Sprintf("%s/pe%d", r.name, index), c, r.cfg.ThreadWeight)
+	p.entryDone = p.onEntryDone
 	p.subtreeTotalMemo = -1
 	p.hierReset()
 	return p
@@ -80,13 +105,32 @@ func (p *pe) install(id ChareID, c Chare) {
 		panic(fmt.Sprintf("charm: chare %v already on PE %d", id, p.index))
 	}
 	p.local[id] = c
+	at, _ := slices.BinarySearchFunc(p.roster, id, ChareID.Compare)
+	p.roster = slices.Insert(p.roster, at, id)
+}
+
+// uninstall removes a chare from the PE's map and roster, returning the
+// object. It panics if the chare is not here — callers own that check when
+// they want a more specific message.
+func (p *pe) uninstall(id ChareID) Chare {
+	obj, ok := p.local[id]
+	if !ok {
+		panic(fmt.Sprintf("charm: chare %v not on PE %d", id, p.index))
+	}
+	delete(p.local, id)
+	at, found := slices.BinarySearchFunc(p.roster, id, ChareID.Compare)
+	if !found {
+		panic(fmt.Sprintf("charm: roster out of sync with chare map on PE %d", p.index))
+	}
+	p.roster = slices.Delete(p.roster, at, at+1)
+	return obj
 }
 
 // resetLoadDB restarts load measurement from the current instant. Split
 // from beginInterval so RestorePE can reset measurement on the new core
 // without touching in-flight LB protocol flags.
 func (p *pe) resetLoadDB() {
-	p.taskWall = make(map[ChareID]float64, len(p.local))
+	clear(p.taskWall)
 	p.intervalAt = p.rts.eng.Now()
 	_, idle := p.core.ProcStat()
 	p.idleAtLB = idle
@@ -95,14 +139,14 @@ func (p *pe) resetLoadDB() {
 // beginInterval resets the load database at the start of an LB interval.
 func (p *pe) beginInterval() {
 	p.resetLoadDB()
-	p.synced = make(map[ChareID]bool, len(p.local))
+	clear(p.synced)
 	p.inSync = false
 	p.orderSeen = false
 	p.expectIn = 0
 	p.arrivedIn = 0
 	p.sentStats = false
 	p.doneSent = false
-	p.subtreeMemo = nil
+	clear(p.subtreeMemo)
 	p.subtreeTotalMemo = -1
 	p.hierReset()
 }
@@ -156,7 +200,9 @@ func (p *pe) pump() {
 
 // execute runs one entry method: the handler computes eagerly, then the
 // PE's thread contends for the core for the reported CPU cost; sends and
-// state transitions take effect when the burst completes.
+// state transitions take effect when the burst completes. The Ctx and the
+// completion callback are both reused across entries (one entry per PE at
+// a time), so steady-state execution allocates nothing.
 func (p *pe) execute(d appDelivery) {
 	chare, ok := p.local[d.to]
 	if !ok {
@@ -167,28 +213,38 @@ func (p *pe) execute(d appDelivery) {
 		return
 	}
 	p.running = true
-	start := p.rts.eng.Now()
-	ctx := &Ctx{rts: p.rts, pe: p, self: d.to}
+	p.curTo = d.to
+	p.curStart = p.rts.eng.Now()
+	ctx := &p.ctx
+	ctx.rts, ctx.pe, ctx.self = p.rts, p, d.to
+	ctx.sends = ctx.sends[:0]
+	ctx.contribs = ctx.contribs[:0]
+	ctx.atSync, ctx.done = false, false
 	cost := chare.Recv(ctx, d.data)
 	if cost < 0 {
 		panic(fmt.Sprintf("charm: chare %v returned negative cost %v", d.to, cost))
 	}
 	cost += p.rts.cfg.MsgOverheadCPU
-	p.thread.Run(cost, func() {
-		now := p.rts.eng.Now()
-		p.running = false
-		p.taskWall[d.to] += float64(now - start)
+	p.thread.Run(cost, p.entryDone)
+}
+
+// onEntryDone fires when the in-flight entry's CPU burst has been served.
+func (p *pe) onEntryDone() {
+	now := p.rts.eng.Now()
+	p.running = false
+	p.taskWall[p.curTo] += float64(now - p.curStart)
+	if rec := p.rts.cfg.Trace; rec != nil {
 		kind := trace.KindTask
 		if p.rts.cfg.TraceAsBackground {
 			kind = trace.KindBackground
 		}
-		p.rts.cfg.Trace.Add(trace.Segment{
-			Core: p.core.ID, Start: start, End: now,
-			Kind: kind, Label: d.to.String(),
+		rec.Add(trace.Segment{
+			Core: p.core.ID, Start: p.curStart, End: now,
+			Kind: kind, Label: p.curTo.String(),
 		})
-		p.afterEntry(ctx)
-		p.pump()
-	})
+	}
+	p.afterEntry(&p.ctx)
+	p.pump()
 }
 
 // afterEntry applies the effects an entry method produced: outgoing

@@ -3,7 +3,6 @@ package charm
 import (
 	"fmt"
 	"math"
-	"sort"
 )
 
 // Reductions flow along a k-ary spanning tree of PEs (parent(i) =
@@ -83,13 +82,19 @@ func (r *RTS) treeParent(pe int) int {
 	return (pe - 1) / r.redArity()
 }
 
-// treeChildren returns the PE's children in the reduction tree.
+// treeChildren returns the PE's children in the reduction tree. The tree
+// shape is fixed for the life of the runtime, so the lists are memoized
+// (a non-nil empty slice marks a computed leaf).
 func (r *RTS) treeChildren(pe int) []int {
+	if out := r.childrenMemo[pe]; out != nil {
+		return out
+	}
 	k := r.redArity()
-	var out []int
+	out := []int{}
 	for c := pe*k + 1; c <= pe*k+k && c < len(r.pes); c++ {
 		out = append(out, c)
 	}
+	r.childrenMemo[pe] = out
 	return out
 }
 
@@ -187,15 +192,12 @@ func (p *pe) deliverReduction(k redKey, res ReductionResult) {
 			child.enqueueSys(func() { child.deliverReduction(k, res) })
 		})
 	}
-	ids := make([]ChareID, 0, len(p.local))
-	for id := range p.local {
+	// The roster is sorted by (Array, Index), so filtering it by array
+	// yields exactly the Index order the delivery loop always used.
+	for _, id := range p.roster {
 		if id.Array == k.array {
-			ids = append(ids, id)
+			p.enqueueApp(id, res)
 		}
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i].Index < ids[j].Index })
-	for _, id := range ids {
-		p.enqueueApp(id, res)
 	}
 	p.pump()
 }

@@ -2,7 +2,7 @@ package core
 
 import (
 	"container/heap"
-	"sort"
+	"slices"
 )
 
 // RefineLB is the paper's Algorithm 1: refinement load balancing for VM
@@ -148,18 +148,10 @@ func removeTask(list []int, ti int) []int {
 }
 
 func insertSorted(s Stats, list []int, ti int) []int {
-	list = append(list, ti)
-	sort.Slice(list, func(a, b int) bool {
-		ta, tb := s.Tasks[list[a]], s.Tasks[list[b]]
-		if ta.Load != tb.Load {
-			return ta.Load > tb.Load
-		}
-		if ta.ID.Array != tb.ID.Array {
-			return ta.ID.Array < tb.ID.Array
-		}
-		return ta.ID.Index < tb.ID.Index
+	at, _ := slices.BinarySearchFunc(list, ti, func(a, b int) int {
+		return compareTasksLoadDesc(s.Tasks[a], s.Tasks[b])
 	})
-	return list
+	return slices.Insert(list, at, ti)
 }
 
 func removeCore(under []int, ci int) []int {

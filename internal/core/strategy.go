@@ -16,8 +16,9 @@
 package core
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // TaskID identifies a migratable object (chare) by its array and index.
@@ -27,6 +28,20 @@ type TaskID struct {
 }
 
 func (id TaskID) String() string { return fmt.Sprintf("%s[%d]", id.Array, id.Index) }
+
+// Compare orders TaskIDs by (Array, Index) — the canonical deterministic
+// order every roster, stats gather and migration plan in this repository
+// sorts by. It is a strict total order (IDs are unique), so stable and
+// unstable sorts produce identical sequences.
+func (id TaskID) Compare(o TaskID) int {
+	if id.Array != o.Array {
+		if id.Array < o.Array {
+			return -1
+		}
+		return 1
+	}
+	return cmp.Compare(id.Index, o.Index)
+}
 
 // Task is the measured record of one migratable object.
 type Task struct {
@@ -245,15 +260,20 @@ func Validate(s Stats) error {
 // lightest, with a deterministic ID tie-break.
 func SortTasksByLoadDesc(s Stats, indices []int) []int {
 	out := append([]int(nil), indices...)
-	sort.Slice(out, func(a, b int) bool {
-		ta, tb := s.Tasks[out[a]], s.Tasks[out[b]]
-		if ta.Load != tb.Load {
-			return ta.Load > tb.Load
-		}
-		if ta.ID.Array != tb.ID.Array {
-			return ta.ID.Array < tb.ID.Array
-		}
-		return ta.ID.Index < tb.ID.Index
+	slices.SortFunc(out, func(a, b int) int {
+		return compareTasksLoadDesc(s.Tasks[a], s.Tasks[b])
 	})
 	return out
+}
+
+// compareTasksLoadDesc orders tasks heaviest-first with the ID tie-break
+// shared by every load-descending sort in this package.
+func compareTasksLoadDesc(a, b Task) int {
+	if a.Load != b.Load {
+		if a.Load > b.Load {
+			return -1
+		}
+		return 1
+	}
+	return a.ID.Compare(b.ID)
 }

@@ -11,9 +11,10 @@
 package elastic
 
 import (
+	"cmp"
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 
 	"cloudlb/internal/charm"
 	"cloudlb/internal/sim"
@@ -87,13 +88,13 @@ func (s Schedule) Apply(rts *charm.RTS) {
 // the order events are armed in.
 func sorted(s Schedule) Schedule {
 	out := append(Schedule(nil), s...)
-	sort.SliceStable(out, func(i, j int) bool {
-		ni := out[i].At - sim.Time(out[i].Warning)
-		nj := out[j].At - sim.Time(out[j].Warning)
-		if ni != nj {
-			return ni < nj
+	slices.SortStableFunc(out, func(a, b Revocation) int {
+		na := a.At - sim.Time(a.Warning)
+		nb := b.At - sim.Time(b.Warning)
+		if na != nb {
+			return cmp.Compare(na, nb)
 		}
-		return out[i].PE < out[j].PE
+		return a.PE - b.PE
 	})
 	return out
 }

@@ -1,0 +1,160 @@
+package experiment
+
+import (
+	"cloudlb/internal/apps"
+	"cloudlb/internal/charm"
+	"cloudlb/internal/core"
+	"cloudlb/internal/interfere"
+	"cloudlb/internal/lb"
+	"cloudlb/internal/machine"
+	"cloudlb/internal/sim"
+	"cloudlb/internal/xnet"
+)
+
+// This file holds the reduced-scale benchmark workloads shared between
+// the repository's root `go test -bench` suite and `cmd/figures
+// -benchjson`: both time the same operations, so the committed
+// BENCH_results.json records ns/op and allocs/op for every figure and
+// ablation artifact, not just the engine microbenches.
+
+// BenchScale is the reduced iteration scale the benchmark suite runs at:
+// small enough to keep one op around a second, large enough to leave the
+// balancer several LB periods to converge.
+const BenchScale = 0.15
+
+// NamedBench is one benchmark workload; Run performs a single op.
+type NamedBench struct {
+	Name string
+	Run  func()
+}
+
+// FigureBenchmarks mirrors the root benchmark suite — one entry per
+// paper artifact (figures 1-4) plus the DESIGN.md ablations — as plain
+// closures a non-test binary can time with testing.Benchmark.
+func FigureBenchmarks() []NamedBench {
+	seeds := []int64{1}
+	return []NamedBench{
+		{"Fig2Jacobi2D", func() { Evaluate(Jacobi2D, []int{4, 8}, seeds, BenchScale) }},
+		{"Fig2Wave2D", func() { Evaluate(Wave2D, []int{4, 8}, seeds, BenchScale) }},
+		// Mol3D needs a few more LB periods than the stencils to converge
+		// under the 4x-preferred background job.
+		{"Fig2Mol3D", func() { Evaluate(Mol3D, []int{4, 8}, seeds, 0.4) }},
+		{"Fig4Energy", func() { Evaluate(Wave2D, []int{8}, seeds, BenchScale) }},
+		{"Fig1Timeline", func() { Fig1(BenchScale) }},
+		{"Fig3Adaptation", func() { Fig3(0.5) }},
+		{"AblationBackgroundTerm", func() {
+			AblationRun(&core.RefineLB{EpsilonFrac: 0.02})
+			AblationRun(&lb.RefineInternalLB{Inner: core.RefineLB{EpsilonFrac: 0.02}})
+		}},
+		{"AblationRefineVsGreedy", func() {
+			Run(Scenario{App: Wave2D, Cores: 4, Strategy: Refine, BG: BGWave2D, Seed: 1, Scale: BenchScale})
+			Run(Scenario{App: Wave2D, Cores: 4, Strategy: Greedy, BG: BGWave2D, Seed: 1, Scale: BenchScale})
+		}},
+		{"SweepRefineParams", func() {
+			SweepRefineParams(Wave2D, 4, []float64{0.02, 0.1}, []int{10, 40}, 1, BenchScale)
+		}},
+		{"ExtensionCloudChurn", func() {
+			Run(Scenario{App: Wave2D, Cores: 8, Strategy: NoLB, BG: BGCloudChurn, Seed: 1, Scale: 0.5})
+			Run(Scenario{App: Wave2D, Cores: 8, Strategy: Refine, BG: BGCloudChurn, Seed: 1, Scale: 0.5})
+		}},
+		{"AblationMigrationCost", func() {
+			Run(Scenario{App: Wave2D, Cores: 4, Strategy: Refine, BG: BGWave2D, Seed: 1, Scale: BenchScale})
+			Run(Scenario{App: Wave2D, Cores: 4, Strategy: CostAware, BG: BGWave2D, Seed: 1, Scale: BenchScale})
+		}},
+	}
+}
+
+// AblationRun executes the DESIGN.md A1 ablation world under the given
+// balancer and returns the application's wall time. The world is a
+// 4-core run whose internal imbalance leaves the hogged core lightly
+// loaded: PE 3's chares cost 30% of the others, and a CPU hog occupies
+// core 3. A background-blind balancer mistakes core 3 for spare capacity
+// and ships work into the interference; the paper's O_p term (Eq. 2)
+// prevents exactly that.
+func AblationRun(strategy core.Strategy) float64 {
+	eng := sim.NewEngine()
+	mach := machine.New(eng, machine.Config{Nodes: 1, CoresPerNode: 4, CoreSpeed: 1})
+	net := xnet.New(mach, xnet.DefaultConfig())
+	rts := charm.NewRTS(charm.Config{
+		Machine: mach, Net: net, Cores: []int{0, 1, 2, 3},
+		Strategy: strategy, Name: "abl",
+	})
+	apps.NewStencilApp(rts, apps.StencilConfig{
+		Array: "wave", GridW: 256, GridH: 128, CharesX: 16, CharesY: 8,
+		Iters: 80, SyncEvery: 10, CostPerCell: 3e-6,
+		CostScale: func(i int) float64 {
+			// Blocks whose home PE is 3 (block placement: last quarter
+			// of indices) are cheap.
+			if i >= 96 {
+				return 0.3
+			}
+			return 1
+		},
+		NewKernel: apps.NewWaveKernel(256, 128, 0.4),
+	})
+	interfere.StartHog(mach, interfere.HogConfig{Core: 3, Start: 0})
+	rts.Start()
+	mustFinish(eng, rts.Finished, 1000)
+	return float64(rts.FinishTime())
+}
+
+// Steady-state iteration microbench shape: 32 Wave2D chares on one
+// 4-core node, no sync points.
+const steadyCharesX, steadyCharesY = 8, 4
+
+// SteadyIterBench holds a live Wave2D world with load balancing disabled,
+// advanced one superstep at a time. It isolates the runtime's
+// steady-state per-iteration cost — edge messages, thread scheduling,
+// kernel work — from LB machinery and startup transients, so hot-path
+// allocation regressions show up separately from end-to-end runs.
+type SteadyIterBench struct {
+	eng  *sim.Engine
+	app  *apps.StencilApp
+	iter int
+}
+
+// NewSteadyIterBench builds the world and warms it past the startup
+// transient, so the first timed StepOnce already runs on primed message
+// pools and armed threads.
+func NewSteadyIterBench() *SteadyIterBench {
+	eng := sim.NewEngine()
+	mach := machine.New(eng, machine.Config{Nodes: 1, CoresPerNode: 4, CoreSpeed: 1})
+	net := xnet.New(mach, xnet.DefaultConfig())
+	rts := charm.NewRTS(charm.Config{
+		Machine: mach, Net: net, Cores: []int{0, 1, 2, 3}, Name: "steady",
+	})
+	app := apps.NewStencilApp(rts, apps.StencilConfig{
+		Array: "wave", GridW: 256, GridH: 128,
+		CharesX: steadyCharesX, CharesY: steadyCharesY,
+		Iters: 1 << 30, CostPerCell: 3e-6,
+		NewKernel: apps.NewWaveKernel(256, 128, 0.4),
+	})
+	rts.Start()
+	s := &SteadyIterBench{eng: eng, app: app}
+	for i := 0; i < 8; i++ {
+		s.StepOnce()
+	}
+	return s
+}
+
+// StepOnce advances the whole array one superstep: it drives the engine
+// until every chare has completed one more iteration than before.
+func (s *SteadyIterBench) StepOnce() {
+	s.iter++
+	for !s.caughtUp() {
+		if !s.eng.Step() {
+			panic("experiment: steady-state bench world ran out of events")
+		}
+	}
+}
+
+func (s *SteadyIterBench) caughtUp() bool {
+	for by := 0; by < steadyCharesY; by++ {
+		for bx := 0; bx < steadyCharesX; bx++ {
+			if s.app.Iterations(bx, by) < s.iter {
+				return false
+			}
+		}
+	}
+	return true
+}

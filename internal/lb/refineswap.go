@@ -1,7 +1,7 @@
 package lb
 
 import (
-	"sort"
+	"slices"
 
 	"cloudlb/internal/core"
 )
@@ -148,15 +148,15 @@ func (r *RefineSwapLB) bestSwap(s core.Stats, loads []float64, tasksOf [][]int, 
 
 func ordered(s core.Stats, idx []int) []int {
 	out := append([]int(nil), idx...)
-	sort.Slice(out, func(a, b int) bool {
-		ta, tb := s.Tasks[out[a]], s.Tasks[out[b]]
+	slices.SortFunc(out, func(a, b int) int {
+		ta, tb := s.Tasks[a], s.Tasks[b]
 		if ta.Load != tb.Load {
-			return ta.Load > tb.Load
+			if ta.Load > tb.Load {
+				return -1
+			}
+			return 1
 		}
-		if ta.ID.Array != tb.ID.Array {
-			return ta.ID.Array < tb.ID.Array
-		}
-		return ta.ID.Index < tb.ID.Index
+		return ta.ID.Compare(tb.ID)
 	})
 	return out
 }

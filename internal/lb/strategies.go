@@ -15,7 +15,7 @@
 package lb
 
 import (
-	"sort"
+	"slices"
 
 	"cloudlb/internal/core"
 )
@@ -129,7 +129,7 @@ func (t *ThresholdLB) Plan(s core.Stats) []core.Move {
 	for i := range order {
 		order[i] = i
 	}
-	sort.Slice(order, func(a, b int) bool { return s.Cores[order[a]].PE < s.Cores[order[b]].PE })
+	slices.SortFunc(order, func(a, b int) int { return s.Cores[a].PE - s.Cores[b].PE })
 	var moves []core.Move
 	for _, ci := range order {
 		if s.Cores[ci].Offline {

@@ -1,0 +1,32 @@
+package machine
+
+import "testing"
+
+// TestSettleArmAllocFree is the allocation-budget gate for the core
+// scheduler: with the completion callback pre-bound and the done/active
+// scratch slices sized by a first round of bursts, running overlapping
+// bursts to completion must not allocate. settle/arm fire on every
+// share change of every core, so any regression here is multiplied by
+// the whole simulation.
+func TestSettleArmAllocFree(t *testing.T) {
+	eng, m := newTestMachine(1, 1)
+	a := m.NewThread("a", m.Core(0), 1)
+	b := m.NewThread("b", m.Core(0), 1)
+	nop := func() {}
+	// Prime the scratch slices and the engine's event free list.
+	a.Run(0.5, nop)
+	b.Run(0.7, nop)
+	if err := eng.Run(); err != nil {
+		t.Fatal(err)
+	}
+	avg := testing.AllocsPerRun(100, func() {
+		a.Run(0.5, nop)
+		b.Run(0.7, nop)
+		if err := eng.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if avg != 0 {
+		t.Errorf("settle/arm burst cycle: %.2f allocs per run, want 0", avg)
+	}
+}

@@ -27,6 +27,14 @@ type Core struct {
 	idle       sim.Time // cumulative time with no runnable thread
 	nextDone   sim.EventID
 	hasNext    bool
+
+	// onCompletionFn is the onCompletion method value bound once at
+	// construction; arm() runs on every settle/add/remove and binding the
+	// method there would allocate a closure each time.
+	onCompletionFn func()
+	// doneScratch is onCompletion's completed-thread list, reused across
+	// firings so steady-state scheduling allocates nothing.
+	doneScratch []*Thread
 }
 
 // Node returns the node hosting this core.
@@ -154,7 +162,7 @@ func (c *Core) arm() {
 			soonest = dt
 		}
 	}
-	c.nextDone = c.m.eng.After(sim.Time(soonest), c.onCompletion)
+	c.nextDone = c.m.eng.After(sim.Time(soonest), c.onCompletionFn)
 	c.hasNext = true
 }
 
@@ -165,22 +173,30 @@ func (c *Core) onCompletion() {
 	// Collect every thread whose demand is exhausted (ties complete
 	// together), remove them from the runnable set, re-arm, and only then
 	// run callbacks: a callback may immediately start new bursts here or
-	// on other cores, re-entering add/remove safely.
-	var done []*Thread
-	i := 0
-	for i < len(c.active) {
-		th := c.active[i]
+	// on other cores, re-entering add/remove safely. The survivors are
+	// compacted in place (order preserved) and the completed threads go
+	// into a scratch list reused across firings.
+	done := c.doneScratch[:0]
+	keep := c.active[:0]
+	for _, th := range c.active {
 		if th.remaining <= th.demand*workEpsilon+1e-15 {
-			c.active = append(c.active[:i], c.active[i+1:]...)
 			done = append(done, th)
-			continue
+		} else {
+			keep = append(keep, th)
 		}
-		i++
 	}
+	for i := len(keep); i < len(c.active); i++ {
+		c.active[i] = nil
+	}
+	c.active = keep
 	c.arm()
 	for _, th := range done {
 		th.finishBurst()
 	}
+	for i := range done {
+		done[i] = nil
+	}
+	c.doneScratch = done[:0]
 }
 
 func (c *Core) add(th *Thread) {
@@ -196,7 +212,9 @@ func (c *Core) remove(th *Thread) {
 	c.settle()
 	for i, a := range c.active {
 		if a == th {
-			c.active = append(c.active[:i], c.active[i+1:]...)
+			copy(c.active[i:], c.active[i+1:])
+			c.active[len(c.active)-1] = nil // drop the stale tail reference
+			c.active = c.active[:len(c.active)-1]
 			c.arm()
 			return
 		}

@@ -97,6 +97,7 @@ func New(eng *sim.Engine, cfg Config) *Machine {
 				speed:  cfg.CoreSpeed,
 				online: true,
 			}
+			core.onCompletionFn = core.onCompletion
 			node.cores = append(node.cores, core)
 			m.cores = append(m.cores, core)
 		}

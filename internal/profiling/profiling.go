@@ -1,0 +1,52 @@
+// Package profiling wires the standard runtime/pprof CPU and heap
+// profiles behind the -cpuprofile/-memprofile command-line flags of the
+// binaries in cmd/. It exists so every command exposes the profiles the
+// same way and the README can document one workflow.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins a CPU profile if cpuPath is non-empty and returns a stop
+// function. Calling stop finishes the CPU profile and, if memPath is
+// non-empty, forces a GC and writes a heap profile — call it once, after
+// the workload, on the success path (error exits may skip it; a truncated
+// profile of a failed run has no value). Empty paths make both Start and
+// stop no-ops, so callers can wire the flags through unconditionally.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("profiling: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+			defer f.Close()
+			runtime.GC() // flush pending frees so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				return fmt.Errorf("profiling: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

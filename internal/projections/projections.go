@@ -8,7 +8,7 @@ package projections
 import (
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 	"strings"
 
 	"cloudlb/internal/sim"
@@ -53,11 +53,14 @@ func ChareStats(rec *trace.Recorder) []ChareStat {
 		}
 		out = append(out, *st)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Total != out[j].Total {
-			return out[i].Total > out[j].Total
+	slices.SortFunc(out, func(a, b ChareStat) int {
+		if a.Total != b.Total {
+			if a.Total > b.Total {
+				return -1
+			}
+			return 1
 		}
-		return out[i].Label < out[j].Label
+		return strings.Compare(a.Label, b.Label)
 	})
 	return out
 }

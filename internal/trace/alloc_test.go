@@ -1,0 +1,27 @@
+package trace
+
+import (
+	"testing"
+
+	"cloudlb/internal/sim"
+)
+
+// TestAddAmortizedAllocFree is the allocation-budget gate for chunked
+// segment storage: appending allocates only when a chunk fills, one
+// fixed-size block per chunkLen segments, never a doubling copy of the
+// whole timeline. Across several chunks the amortized cost per Add must
+// stay far below one allocation.
+func TestAddAmortizedAllocFree(t *testing.T) {
+	r := NewRecorder()
+	i := 0
+	avg := testing.AllocsPerRun(3*chunkLen, func() {
+		r.Add(Segment{Core: 0, Start: sim.Time(i), End: sim.Time(i + 1), Kind: KindTask})
+		i++
+	})
+	if avg > 0.01 {
+		t.Errorf("Recorder.Add: %.4f allocs/segment amortized, want < 0.01", avg)
+	}
+	if r.Len() != 3*chunkLen+1 {
+		t.Fatalf("recorder holds %d segments, want %d", r.Len(), 3*chunkLen+1)
+	}
+}

@@ -1,9 +1,10 @@
 package trace
 
 import (
+	"cmp"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 
 	"cloudlb/internal/sim"
 )
@@ -69,7 +70,7 @@ func (r *Recorder) coveredFraction(coreID int, from, to sim.Time) float64 {
 		}
 		ivs = append(ivs, iv{a, b})
 	}
-	sort.Slice(ivs, func(i, j int) bool { return ivs[i].a < ivs[j].a })
+	slices.SortFunc(ivs, func(x, y iv) int { return cmp.Compare(x.a, y.a) })
 	var covered, end sim.Time
 	end = from
 	for _, v := range ivs {

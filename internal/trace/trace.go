@@ -9,7 +9,8 @@
 package trace
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"cloudlb/internal/sim"
 )
@@ -60,10 +61,17 @@ type Segment struct {
 	Label string
 }
 
+// chunkLen is the capacity of one segment chunk. Chunked storage keeps
+// appends O(1) without the doubling-and-copying a single flat slice pays:
+// a long traced run re-copies every segment ~log(n) times, and the copies
+// momentarily hold 1.5x the timeline in memory.
+const chunkLen = 4096
+
 // Recorder accumulates segments. A nil *Recorder is valid and records
 // nothing, so instrumented code never needs nil checks.
 type Recorder struct {
-	segs []Segment
+	chunks [][]Segment
+	count  int
 }
 
 // NewRecorder returns an empty recorder.
@@ -77,7 +85,20 @@ func (r *Recorder) Add(s Segment) {
 	if s.End < s.Start {
 		s.Start, s.End = s.End, s.Start
 	}
-	r.segs = append(r.segs, s)
+	if n := len(r.chunks); n == 0 || len(r.chunks[n-1]) == chunkLen {
+		r.chunks = append(r.chunks, make([]Segment, 0, chunkLen))
+	}
+	last := len(r.chunks) - 1
+	r.chunks[last] = append(r.chunks[last], s)
+	r.count++
+}
+
+// Len reports how many segments have been recorded.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return r.count
 }
 
 // Mark records an instantaneous annotation on a core's timeline.
@@ -90,12 +111,15 @@ func (r *Recorder) Segments() []Segment {
 	if r == nil {
 		return nil
 	}
-	out := append([]Segment(nil), r.segs...)
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Core != out[j].Core {
-			return out[i].Core < out[j].Core
+	out := make([]Segment, 0, r.count)
+	for _, c := range r.chunks {
+		out = append(out, c...)
+	}
+	slices.SortStableFunc(out, func(a, b Segment) int {
+		if a.Core != b.Core {
+			return a.Core - b.Core
 		}
-		return out[i].Start < out[j].Start
+		return cmp.Compare(a.Start, b.Start)
 	})
 	return out
 }
@@ -106,12 +130,14 @@ func (r *Recorder) CoreSegments(coreID int) []Segment {
 		return nil
 	}
 	var out []Segment
-	for _, s := range r.segs {
-		if s.Core == coreID {
-			out = append(out, s)
+	for _, c := range r.chunks {
+		for _, s := range c {
+			if s.Core == coreID {
+				out = append(out, s)
+			}
 		}
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	slices.SortStableFunc(out, func(a, b Segment) int { return cmp.Compare(a.Start, b.Start) })
 	return out
 }
 
