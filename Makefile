@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint race check bench benchjson verify-results figures
+.PHONY: build test vet lint race check bench benchjson verify-results figures metrics-smoke
 
 build:
 	$(GO) build ./...
@@ -21,11 +21,19 @@ vet:
 	$(GO) vet ./...
 
 # gofmt is checked, not applied: CI must fail on unformatted files, not
-# silently rewrite them.
+# silently rewrite them. staticcheck runs when installed (the container
+# image does not bake it in; installing is a no-network environment
+# concern, so its absence downgrades to a notice, never a pass/fail flip
+# between machines with different toolboxes).
 lint: vet
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed, skipping"; \
 	fi
 
 race:
@@ -42,6 +50,20 @@ bench:
 # Refresh the committed benchmark record (ns/op, allocs/op, events/sec).
 benchjson:
 	$(GO) run ./cmd/figures -benchjson BENCH_results.json
+
+# Metrics smoke: one small Wave2D scenario with the Prometheus export on
+# stderr, asserting the acceptance-critical series are present and
+# non-empty. Catches wiring rot (a renamed series, a dropped collector)
+# in seconds without simulating the full figure set.
+metrics-smoke:
+	@out=$$($(GO) run ./cmd/lbsim -app wave2d -cores 8 -strategy refine -bg -scale 0.1 -metrics - 2>&1 >/dev/null); \
+	if [ -z "$$out" ]; then echo "metrics-smoke: empty -metrics output"; exit 1; fi; \
+	for series in charm_pe_background_seconds_total charm_lb_step_migrations \
+			charm_lb_migrations_total machine_core_busy_seconds sim_events_total runner_scenarios_total; do \
+		echo "$$out" | grep -q "^$$series{" || echo "$$out" | grep -q "^$$series " || { \
+			echo "metrics-smoke: series $$series missing from export"; exit 1; }; \
+	done; \
+	echo "metrics-smoke: export OK ($$(echo "$$out" | grep -c '^[a-z]') samples)"
 
 # Regenerate the committed results/ tree (byte-identical at any -parallel).
 # Figure 5 is the elasticity extension and stays out of "-fig all" so the

@@ -8,6 +8,7 @@ package cloudlb
 // from `go run ./cmd/figures`.
 
 import (
+	"context"
 	"testing"
 
 	"cloudlb/internal/core"
@@ -21,6 +22,17 @@ import (
 const benchScale = experiment.BenchScale
 
 var benchSeeds = []int64{1}
+
+// benchEvaluate runs a Spec's Figure 2/4 matrix sequentially, failing the
+// benchmark on error (unreachable for sequential in-process dispatch).
+func benchEvaluate(b *testing.B, sp experiment.Spec) []experiment.Eval {
+	b.Helper()
+	evals, err := sp.Evaluate(context.Background(), experiment.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return evals
+}
 
 // reportEval reports the headline quantities of the widest evaluation
 // row (the one with the most cores), selected by field rather than by
@@ -46,7 +58,7 @@ func reportEval(b *testing.B, evals []experiment.Eval) {
 // with and without RefineLB under a 2-core interfering Wave2D job.
 func BenchmarkFig2Jacobi2D(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		evals := experiment.Evaluate(experiment.Jacobi2D, []int{4, 8}, benchSeeds, benchScale)
+		evals := benchEvaluate(b, experiment.Spec{App: experiment.Jacobi2D, Cores: []int{4, 8}, Seeds: benchSeeds, Scale: benchScale})
 		if i == b.N-1 {
 			reportEval(b, evals)
 		}
@@ -56,7 +68,7 @@ func BenchmarkFig2Jacobi2D(b *testing.B) {
 // BenchmarkFig2Wave2D regenerates Figure 2(b).
 func BenchmarkFig2Wave2D(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		evals := experiment.Evaluate(experiment.Wave2D, []int{4, 8}, benchSeeds, benchScale)
+		evals := benchEvaluate(b, experiment.Spec{App: experiment.Wave2D, Cores: []int{4, 8}, Seeds: benchSeeds, Scale: benchScale})
 		if i == b.N-1 {
 			reportEval(b, evals)
 		}
@@ -69,7 +81,7 @@ func BenchmarkFig2Mol3D(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		// Mol3D needs a few more LB periods than the stencils to
 		// converge under the 4x-preferred background job.
-		evals := experiment.Evaluate(experiment.Mol3D, []int{4, 8}, benchSeeds, 0.4)
+		evals := benchEvaluate(b, experiment.Spec{App: experiment.Mol3D, Cores: []int{4, 8}, Seeds: benchSeeds, Scale: 0.4})
 		if i == b.N-1 {
 			reportEval(b, evals)
 		}
@@ -80,7 +92,7 @@ func BenchmarkFig2Mol3D(b *testing.B) {
 // and normalized energy overhead) for Wave2D.
 func BenchmarkFig4Energy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		evals := experiment.Evaluate(experiment.Wave2D, []int{8}, benchSeeds, benchScale)
+		evals := benchEvaluate(b, experiment.Spec{App: experiment.Wave2D, Cores: []int{8}, Seeds: benchSeeds, Scale: benchScale})
 		if i == b.N-1 {
 			e := evals[0]
 			b.ReportMetric(e.PowerNoLB, "noLB_W")
@@ -170,8 +182,14 @@ func BenchmarkAblationRefineVsGreedy(b *testing.B) {
 func BenchmarkSweepRefineParams(b *testing.B) {
 	var points []experiment.SweepPoint
 	for i := 0; i < b.N; i++ {
-		points = experiment.SweepRefineParams(experiment.Wave2D, 4,
-			[]float64{0.02, 0.1}, []int{10, 40}, 1, benchScale)
+		var err error
+		points, err = experiment.Spec{
+			App: experiment.Wave2D, Cores: []int{4}, Seeds: benchSeeds, Scale: benchScale,
+			EpsFracs: []float64{0.02, 0.1}, Periods: []int{10, 40},
+		}.SweepRefineParams(context.Background(), experiment.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	for _, p := range points {
 		if p.EpsilonFrac == 0.02 && p.SyncEvery == 10 {

@@ -86,11 +86,10 @@ func main() {
 	width := flag.Int("width", 100, "ASCII timeline width")
 	parallel := flag.Int("parallel", 0, "concurrent scenario workers (0 = GOMAXPROCS); any value produces identical output")
 	benchJSON := flag.String("benchjson", "", "run the engine and figure benchmarks, write JSON results to this path, and exit")
-	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
-	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this path on exit")
+	prof := profiling.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	stopProfiles, err := prof.Start()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
@@ -122,10 +121,13 @@ func main() {
 	// in flight. The figure text on stdout is byte-identical at any worker
 	// count (results are slotted by batch index), so the committed results/
 	// tree regenerates exactly regardless of -parallel.
+	// Metrics (when enabled) ride along on every scenario via Options;
+	// they accumulate across figures into one registry written on exit and
+	// never touch stdout, so the oracle stays byte-identical either way.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	pool := &runner.Pool{Workers: *parallel}
-	exec := pool.Executor()
+	pool := &runner.Pool{Workers: *parallel, Metrics: prof.Registry()}
+	opts := experiment.Options{Executor: pool.Executor(), Metrics: prof.Registry()}
 	start := time.Now()
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "figures:", err)
@@ -146,10 +148,11 @@ func main() {
 			fig3(*scale, *width, *svgPath)
 		case f == "compare":
 			fmt.Println("Strategy comparison (Wave2D, 8 cores, interfered):")
-			results, err := experiment.CompareStrategiesCtx(ctx, experiment.Wave2D, 8,
-				[]experiment.StrategyKind{experiment.NoLB, experiment.Refine, experiment.RefineInternal,
+			results, err := experiment.Spec{
+				App: experiment.Wave2D, Cores: []int{8}, Seeds: []int64{1}, Scale: *scale,
+				Strategies: []experiment.StrategyKind{experiment.NoLB, experiment.Refine, experiment.RefineInternal,
 					experiment.RefineSwap, experiment.Greedy, experiment.Threshold, experiment.CostAware},
-				1, *scale, exec)
+			}.CompareStrategies(ctx, opts)
 			if err != nil {
 				fail(err)
 			}
@@ -166,9 +169,11 @@ func main() {
 			fmt.Printf("Figure 5: timing penalty of a spot revocation (Wave2D, %d cores)\n", elasticCores)
 			fmt.Printf("PE %d warned at t=%.3fs, core offline %.3f-%.3fs, replacement core %d\n",
 				r.PE, float64(r.At-r.Warning), float64(r.At), float64(r.Restore), r.ReplacementCore)
-			evals, err := experiment.EvaluateElasticityCtx(ctx, experiment.Wave2D, elasticCores,
-				[]experiment.StrategyKind{experiment.NoLB, experiment.Refine, experiment.RefineSwap},
-				seeds, *scale, sched, exec)
+			evals, err := experiment.Spec{
+				App: experiment.Wave2D, Cores: []int{elasticCores}, Seeds: seeds, Scale: *scale,
+				Strategies: []experiment.StrategyKind{experiment.NoLB, experiment.Refine, experiment.RefineSwap},
+				Faults:     sched,
+			}.Elasticity(ctx, opts)
 			if err != nil {
 				fail(err)
 			}
@@ -189,8 +194,10 @@ func main() {
 			fmt.Println()
 		case f == "sweep":
 			fmt.Println("Sensitivity of RefineLB's design parameters (Wave2D, 8 cores):")
-			points, err := experiment.SweepRefineParamsCtx(ctx, experiment.Wave2D, 8,
-				[]float64{0.01, 0.02, 0.05, 0.1}, []int{5, 10, 20, 40}, 1, *scale, exec)
+			points, err := experiment.Spec{
+				App: experiment.Wave2D, Cores: []int{8}, Seeds: []int64{1}, Scale: *scale,
+				EpsFracs: []float64{0.01, 0.02, 0.05, 0.1}, Periods: []int{5, 10, 20, 40},
+			}.SweepRefineParams(ctx, opts)
 			if err != nil {
 				fail(err)
 			}
@@ -208,7 +215,7 @@ func main() {
 				os.Exit(2)
 			}
 			for _, kind := range kinds {
-				evals, err := experiment.EvaluateCtx(ctx, kind, cores, seeds, *scale, exec)
+				evals, err := experiment.Spec{App: kind, Cores: cores, Seeds: seeds, Scale: *scale}.Evaluate(ctx, opts)
 				if err != nil {
 					fail(err)
 				}

@@ -13,6 +13,7 @@
 //	lbsim -app jacobi2d -cores 4 -strategy none
 //	lbsim -app wave2d -cores 8 -strategy refine -bg -runs 8 -parallel 4
 //	lbsim -app wave2d -cores 8 -strategy refine -preempt 4:1.4:0.25:2.3:8
+//	lbsim -app wave2d -cores 8 -strategy refine -bg -metrics -
 package main
 
 import (
@@ -85,11 +86,10 @@ func main() {
 	chromePath := flag.String("chrome", "", "write a Chrome trace-event JSON of the run to this path (single run only)")
 	hier := flag.Bool("hier", false, "use the hierarchical (tree) LB gather instead of the flat gather")
 	preempt := flag.String("preempt", "", "core revocation schedule, comma-separated pe:at:warning:restore:core entries (restore 0 = never, core -1 = original core)")
-	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the run to this path")
-	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this path on exit")
+	prof := profiling.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
-	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	stopProfiles, err := prof.Start()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lbsim:", err)
 		os.Exit(1)
@@ -137,10 +137,15 @@ func main() {
 		os.Exit(2)
 	}
 
-	proto := experiment.Scenario{
+	seeds := make([]int64, *runs)
+	for i := range seeds {
+		seeds[i] = *seed + int64(i)
+	}
+	spec := experiment.Spec{
 		App:          appKind,
-		Cores:        *cores,
-		Strategy:     stratKind,
+		Cores:        []int{*cores},
+		Strategies:   []experiment.StrategyKind{stratKind},
+		Seeds:        seeds,
 		BGWeight:     *bgWeight,
 		BGIters:      *bgIters,
 		Scale:        *scale,
@@ -152,16 +157,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lbsim: -bg and -churn are mutually exclusive")
 		os.Exit(2)
 	case *bg:
-		proto.BG = experiment.BGWave2D
+		spec.BG = experiment.BGWave2D
 	case *churn:
-		proto.BG = experiment.BGCloudChurn
+		spec.BG = experiment.BGCloudChurn
 	}
 
 	var rec *trace.Recorder
-	batch := make([]experiment.Scenario, *runs)
+	batch := spec.Scenarios()
 	for i := range batch {
-		batch[i] = proto
-		batch[i].Seed = *seed + int64(i)
+		batch[i].Metrics = prof.Registry()
 	}
 	if *chromePath != "" {
 		rec = trace.NewRecorder()
@@ -170,7 +174,7 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	pool := &runner.Pool{Workers: *parallel}
+	pool := &runner.Pool{Workers: *parallel, Metrics: prof.Registry()}
 	results, batchStats, err := pool.RunBatch(ctx, batch)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lbsim:", err)

@@ -19,6 +19,8 @@ import (
 	"cloudlb/internal/core"
 	"cloudlb/internal/interfere"
 	"cloudlb/internal/machine"
+	"cloudlb/internal/metrics"
+	"cloudlb/internal/profiling"
 	"cloudlb/internal/projections"
 	"cloudlb/internal/sim"
 	"cloudlb/internal/trace"
@@ -50,7 +52,15 @@ func main() {
 	hog1stop := flag.Float64("hog1stop", 3.0, "end of the core-1 job (s)")
 	hog2 := flag.Float64("hog2", 4.5, "start of the core-3 interfering job (s)")
 	hog2stop := flag.Float64("hog2stop", 6.5, "end of the core-3 job (s)")
+	lbSteps := flag.Bool("lbsteps", false, "print the per-LB-step table (moves, strategy wall time, per-PE load before/after)")
+	prof := profiling.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	stopProfiles, err := prof.Start()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "timeline:", err)
+		os.Exit(1)
+	}
 
 	var strat core.Strategy
 	switch *strategy {
@@ -64,13 +74,18 @@ func main() {
 	}
 
 	eng := sim.NewEngine()
-	mach := machine.New(eng, machine.Config{Nodes: 1, CoresPerNode: 4, CoreSpeed: 1})
+	mach := machine.New(eng, machine.Config{Nodes: 1, CoresPerNode: 4, CoreSpeed: 1, Metrics: prof.Registry()})
 	net := xnet.New(mach, xnet.DefaultConfig())
 	rec := trace.NewRecorder()
 
+	var tl *metrics.LBTimeline
+	if *lbSteps {
+		tl = &metrics.LBTimeline{}
+	}
 	rts := charm.NewRTS(charm.Config{
 		Machine: mach, Net: net, Cores: []int{0, 1, 2, 3},
 		Strategy: strat, Trace: rec, Name: "wave",
+		Metrics: prof.Registry(), LBTimeline: tl,
 	})
 	apps.NewStencilApp(rts, apps.StencilConfig{
 		Array: "wave", GridW: 256, GridH: 128, CharesX: 16, CharesY: 8,
@@ -92,6 +107,14 @@ func main() {
 
 	cores := []int{0, 1, 2, 3}
 	rec.RenderASCII(os.Stdout, cores, 0, finish, *width)
+
+	if *lbSteps {
+		fmt.Println("\nper-LB-step timeline:")
+		if err := tl.WriteTable(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "timeline:", err)
+			os.Exit(1)
+		}
+	}
 
 	if *profile {
 		fmt.Println()
@@ -126,5 +149,10 @@ func main() {
 		rec.RenderSVG(f, cores, 0, finish, 1200)
 		f.Close()
 		fmt.Printf("\nwrote %s\n", *svgPath)
+	}
+
+	if err := stopProfiles(); err != nil {
+		fmt.Fprintln(os.Stderr, "timeline:", err)
+		os.Exit(1)
 	}
 }

@@ -24,6 +24,7 @@ import (
 
 	"cloudlb/internal/core"
 	"cloudlb/internal/machine"
+	"cloudlb/internal/metrics"
 	"cloudlb/internal/sim"
 	"cloudlb/internal/trace"
 	"cloudlb/internal/xnet"
@@ -152,8 +153,15 @@ type Config struct {
 	// 50 ms, a typical heartbeat timeout). Irrelevant for revocations
 	// with advance warning, which evacuate eagerly.
 	FaultDetectionDelay float64
-	// Name tags this runtime instance in traces.
+	// Name tags this runtime instance in traces and metric labels.
 	Name string
+	// Metrics, when non-nil, receives this runtime's telemetry series
+	// (messages, AtSync barriers, LB steps, per-PE Eq. 2 measurements),
+	// labeled rts=Name. Nil disables instrumentation at zero cost.
+	Metrics *metrics.Registry
+	// LBTimeline, when non-nil, accumulates one row per LB step (moves
+	// planned/applied, strategy wall time, per-PE loads before/after).
+	LBTimeline *metrics.LBTimeline
 }
 
 // RTS is a runtime instance.
@@ -212,6 +220,10 @@ type RTS struct {
 	// childrenMemo caches the reduction tree's child lists per PE (the
 	// tree shape is fixed at construction).
 	childrenMemo [][]int
+
+	// met holds the telemetry handles; its zero value is all no-ops, so
+	// hot paths update it unconditionally (see rtsMetrics).
+	met rtsMetrics
 }
 
 type arrayMeta struct {
@@ -259,6 +271,7 @@ func NewRTS(cfg Config) *RTS {
 	r.outsScratch = make([][]core.Move, len(r.pes))
 	r.insScratch = make([]int, len(r.pes))
 	r.childrenMemo = make([][]int, len(r.pes))
+	r.met = newRTSMetrics(cfg.Metrics, cfg.LBTimeline, cfg.Name, len(r.pes))
 	return r
 }
 
@@ -403,6 +416,7 @@ func (r *RTS) newAppMsg() *appMsg {
 		m := r.msgFree[n-1]
 		r.msgFree[n-1] = nil
 		r.msgFree = r.msgFree[:n-1]
+		r.met.msgsPooled.Inc()
 		return m
 	}
 	m := &appMsg{rts: r}
@@ -442,6 +456,7 @@ func (r *RTS) send(fromPE int, to ChareID, data interface{}, bytes int) {
 	}
 	m := r.newAppMsg()
 	m.to, m.data, m.bytes, m.dstPE = to, data, bytes, dstPE
+	r.met.msgsSent.Inc()
 	// In-flight accounting as in netSend, folded into the envelope so
 	// quiescence detection still sees every application message.
 	r.netInflight++

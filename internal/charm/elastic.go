@@ -195,6 +195,7 @@ func (r *RTS) evacuatePE(p *pe) {
 		pending[dst]++
 		r.location[id] = dst
 		r.evacuations++
+		r.met.evacuations.Inc()
 		d := r.pes[dst]
 		bytes := obj.PackSize()
 		r.netSend(p.core.ID, d.core.ID, bytes+migrateHeader, func() {

@@ -267,6 +267,7 @@ func (p *pe) hierMaybeSyncDone() {
 	if parent < 0 {
 		// Root: everyone is done; resume travels down the tree.
 		p.rts.lbSteps++
+		p.rts.met.lbSteps.Inc()
 		p.hierResume()
 		return
 	}

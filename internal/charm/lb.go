@@ -137,6 +137,7 @@ func (p *pe) measureStats() peStats {
 	st.bg = bg
 	st.offline = p.retired
 	p.sentStats = true
+	p.rts.met.measured(p.index, sumTasks, bg)
 	return st
 }
 
@@ -237,7 +238,12 @@ func (r *RTS) planMoves(stats *core.Stats, wallSince sim.Time) (outs [][]core.Mo
 		panic(fmt.Sprintf("charm: invalid LB stats: %v", err))
 	}
 
+	// instr is nil unless metrics or an LB timeline are attached; all its
+	// methods are nil-safe, so the uninstrumented path stays unchanged.
+	instr := r.met.beginStep(r.lbSteps+1, r.eng.Now(), wallSince, stats)
+	instr.planStart()
 	moves = r.cfg.Strategy.Plan(*stats)
+	instr.planDone(moves)
 	// Drop no-op moves defensively.
 	outs, ins = r.outsScratch, r.insScratch
 	for i := range outs {
@@ -265,7 +271,9 @@ func (r *RTS) planMoves(stats *core.Stats, wallSince sim.Time) (outs [][]core.Mo
 		ins[m.To]++
 		r.location[m.Task] = m.To
 		r.migrations++
+		instr.moveApplied(m.Task, from, m.To)
 	}
+	instr.finish(stats)
 	return outs, ins, moves
 }
 
@@ -363,6 +371,7 @@ func (r *RTS) masterSyncDone() {
 	}
 	lb.active = false
 	r.lbSteps++
+	r.met.lbSteps.Inc()
 	master := r.pes[0]
 	bytes := resumeMsgBase + perMoveBytes*len(lb.moves)
 	for _, p := range r.pes {

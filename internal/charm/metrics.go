@@ -1,0 +1,195 @@
+package charm
+
+import (
+	"strconv"
+	"time"
+
+	"cloudlb/internal/core"
+	"cloudlb/internal/metrics"
+	"cloudlb/internal/sim"
+)
+
+// rtsMetrics holds the runtime's telemetry handles. The zero value is the
+// disabled state: every handle is nil and nil handles are no-ops, so the
+// hot paths (send, envelope pooling, stats measurement) update them
+// unconditionally at the cost of one inlined nil check. The cold LB-step
+// path additionally computes per-PE load vectors and per-step series, but
+// only when enabled() reports true.
+type rtsMetrics struct {
+	reg      *metrics.Registry
+	rtsLabel metrics.Label
+	timeline *metrics.LBTimeline
+
+	msgsSent     *metrics.Counter
+	msgsPooled   *metrics.Counter
+	atSync       *metrics.Counter
+	lbSteps      *metrics.Counter
+	movesPlanned *metrics.Counter
+	migrations   *metrics.Counter
+	evacuations  *metrics.Counter
+	strategyWall *metrics.FloatCounter
+
+	// Per-PE series, indexed by PE. Empty when disabled.
+	peBackground []*metrics.FloatCounter
+	peTask       []*metrics.FloatCounter
+	peLoadBefore []*metrics.Gauge
+	peLoadAfter  []*metrics.Gauge
+}
+
+// newRTSMetrics registers this runtime's series. Either reg or tl may be
+// nil; with both nil the returned struct is the all-no-op zero value.
+func newRTSMetrics(reg *metrics.Registry, tl *metrics.LBTimeline, name string, numPEs int) rtsMetrics {
+	m := rtsMetrics{timeline: tl}
+	if reg == nil {
+		return m
+	}
+	m.reg = reg
+	m.rtsLabel = metrics.L("rts", name)
+	m.msgsSent = reg.Counter("charm_messages_sent_total",
+		"Application messages routed between chares.", m.rtsLabel)
+	m.msgsPooled = reg.Counter("charm_messages_pooled_total",
+		"Message envelopes served from the free list instead of the heap.", m.rtsLabel)
+	m.atSync = reg.Counter("charm_atsync_total",
+		"Per-PE AtSync barrier entries (one per PE per LB step).", m.rtsLabel)
+	m.lbSteps = reg.Counter("charm_lb_steps_total",
+		"Completed load balancing steps.", m.rtsLabel)
+	m.movesPlanned = reg.Counter("charm_lb_moves_planned_total",
+		"Migrations proposed by the strategy, including no-op moves.", m.rtsLabel)
+	m.migrations = reg.Counter("charm_lb_migrations_total",
+		"Objects actually migrated (no-op moves dropped).", m.rtsLabel)
+	m.evacuations = reg.Counter("charm_evacuations_total",
+		"Emergency evacuations of chares off revoked or failed PEs.", m.rtsLabel)
+	m.strategyWall = reg.FloatCounter("charm_lb_strategy_wall_seconds_total",
+		"Real (host) seconds spent inside Strategy.Plan.", m.rtsLabel)
+	m.peBackground = make([]*metrics.FloatCounter, numPEs)
+	m.peTask = make([]*metrics.FloatCounter, numPEs)
+	m.peLoadBefore = make([]*metrics.Gauge, numPEs)
+	m.peLoadAfter = make([]*metrics.Gauge, numPEs)
+	for i := 0; i < numPEs; i++ {
+		pe := metrics.L("pe", strconv.Itoa(i))
+		m.peBackground[i] = reg.FloatCounter("charm_pe_background_seconds_total",
+			"Background load O_p (paper Eq. 2) accumulated over LB intervals.", m.rtsLabel, pe)
+		m.peTask[i] = reg.FloatCounter("charm_pe_task_seconds_total",
+			"Measured task wall seconds accumulated over LB intervals.", m.rtsLabel, pe)
+		m.peLoadBefore[i] = reg.Gauge("charm_pe_load_before_seconds",
+			"Per-PE load (tasks + background) entering the latest LB step.", m.rtsLabel, pe)
+		m.peLoadAfter[i] = reg.Gauge("charm_pe_load_after_seconds",
+			"Per-PE load (tasks + background) after the latest step's moves.", m.rtsLabel, pe)
+	}
+	return m
+}
+
+// enabled reports whether the cold-path LB-step instrumentation (load
+// vectors, timeline rows, per-step series) should run.
+func (m *rtsMetrics) enabled() bool { return m.reg != nil || m.timeline != nil }
+
+// measured records one PE's interval measurement (Eq. 2 inputs).
+func (m *rtsMetrics) measured(pe int, taskSeconds, background float64) {
+	m.atSync.Inc()
+	if len(m.peBackground) > 0 {
+		m.peBackground[pe].Add(background)
+		m.peTask[pe].Add(taskSeconds)
+	}
+}
+
+// lbStepInstr gathers one LB step's telemetry across planMoves. All of
+// its methods assume enabled() held when it was created.
+type lbStepInstr struct {
+	met      *rtsMetrics
+	step     metrics.LBStep
+	loads    map[int]float64 // working per-PE load vector
+	taskLoad map[core.TaskID]float64
+	planned  int
+	applied  int
+	planT0   time.Time
+}
+
+// beginStep snapshots the strategy's input: per-PE load before moves and
+// per-PE background, in PE order. Returns nil when instrumentation is
+// disabled, and every method is nil-safe, so planMoves stays branch-light.
+func (m *rtsMetrics) beginStep(stepNo int, now sim.Time, wallSince sim.Time, stats *core.Stats) *lbStepInstr {
+	if !m.enabled() {
+		return nil
+	}
+	in := &lbStepInstr{
+		met:      m,
+		loads:    make(map[int]float64, len(stats.Cores)),
+		taskLoad: make(map[core.TaskID]float64, len(stats.Tasks)),
+	}
+	in.step = metrics.LBStep{
+		Step:        stepNo,
+		Time:        float64(now),
+		WallSinceLB: float64(wallSince),
+	}
+	for _, c := range stats.Cores {
+		in.loads[c.PE] = c.Background
+	}
+	for _, t := range stats.Tasks {
+		in.loads[t.PE] += t.Load
+		in.taskLoad[t.ID] = t.Load
+	}
+	in.step.PEBackground = make([]float64, 0, len(stats.Cores))
+	in.step.PELoadBefore = make([]float64, 0, len(stats.Cores))
+	for _, c := range stats.Cores {
+		in.step.PEBackground = append(in.step.PEBackground, c.Background)
+		in.step.PELoadBefore = append(in.step.PELoadBefore, in.loads[c.PE])
+	}
+	return in
+}
+
+func (in *lbStepInstr) planStart() {
+	if in == nil {
+		return
+	}
+	in.planT0 = time.Now()
+}
+
+func (in *lbStepInstr) planDone(moves []core.Move) {
+	if in == nil {
+		return
+	}
+	in.step.StrategyWall = time.Since(in.planT0).Seconds()
+	in.planned = len(moves)
+}
+
+// moveApplied shifts one task's load in the working vector.
+func (in *lbStepInstr) moveApplied(task core.TaskID, from, to int) {
+	if in == nil {
+		return
+	}
+	in.applied++
+	load := in.taskLoad[task]
+	in.loads[from] -= load
+	in.loads[to] += load
+}
+
+// finish publishes the step: per-PE after-loads, counters, the per-step
+// migration series, and the timeline row.
+func (in *lbStepInstr) finish(stats *core.Stats) {
+	if in == nil {
+		return
+	}
+	m := in.met
+	in.step.MovesPlanned = in.planned
+	in.step.MovesApplied = in.applied
+	in.step.PELoadAfter = make([]float64, 0, len(stats.Cores))
+	for _, c := range stats.Cores {
+		in.step.PELoadAfter = append(in.step.PELoadAfter, in.loads[c.PE])
+	}
+	m.movesPlanned.Add(uint64(in.planned))
+	m.migrations.Add(uint64(in.applied))
+	m.strategyWall.Add(in.step.StrategyWall)
+	if m.reg != nil {
+		for i, c := range stats.Cores {
+			if c.PE < len(m.peLoadBefore) {
+				m.peLoadBefore[c.PE].Set(in.step.PELoadBefore[i])
+				m.peLoadAfter[c.PE].Set(in.step.PELoadAfter[i])
+			}
+		}
+		m.reg.Gauge("charm_lb_step_migrations",
+			"Objects migrated at one LB step (one series per step).",
+			m.rtsLabel, metrics.L("step", strconv.Itoa(in.step.Step))).
+			Set(float64(in.applied))
+	}
+	m.timeline.Append(in.step)
+}

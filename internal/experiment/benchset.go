@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"context"
+
 	"cloudlb/internal/apps"
 	"cloudlb/internal/charm"
 	"cloudlb/internal/core"
@@ -28,18 +30,36 @@ type NamedBench struct {
 	Run  func()
 }
 
+// mustRun discards a Spec method's error: the sequential zero-Options
+// dispatch under a background context cannot fail.
+func mustRun[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
 // FigureBenchmarks mirrors the root benchmark suite — one entry per
 // paper artifact (figures 1-4) plus the DESIGN.md ablations — as plain
 // closures a non-test binary can time with testing.Benchmark.
 func FigureBenchmarks() []NamedBench {
+	ctx := context.Background()
 	seeds := []int64{1}
 	return []NamedBench{
-		{"Fig2Jacobi2D", func() { Evaluate(Jacobi2D, []int{4, 8}, seeds, BenchScale) }},
-		{"Fig2Wave2D", func() { Evaluate(Wave2D, []int{4, 8}, seeds, BenchScale) }},
+		{"Fig2Jacobi2D", func() {
+			mustRun(Spec{App: Jacobi2D, Cores: []int{4, 8}, Seeds: seeds, Scale: BenchScale}.Evaluate(ctx, Options{}))
+		}},
+		{"Fig2Wave2D", func() {
+			mustRun(Spec{App: Wave2D, Cores: []int{4, 8}, Seeds: seeds, Scale: BenchScale}.Evaluate(ctx, Options{}))
+		}},
 		// Mol3D needs a few more LB periods than the stencils to converge
 		// under the 4x-preferred background job.
-		{"Fig2Mol3D", func() { Evaluate(Mol3D, []int{4, 8}, seeds, 0.4) }},
-		{"Fig4Energy", func() { Evaluate(Wave2D, []int{8}, seeds, BenchScale) }},
+		{"Fig2Mol3D", func() {
+			mustRun(Spec{App: Mol3D, Cores: []int{4, 8}, Seeds: seeds, Scale: 0.4}.Evaluate(ctx, Options{}))
+		}},
+		{"Fig4Energy", func() {
+			mustRun(Spec{App: Wave2D, Cores: []int{8}, Seeds: seeds, Scale: BenchScale}.Evaluate(ctx, Options{}))
+		}},
 		{"Fig1Timeline", func() { Fig1(BenchScale) }},
 		{"Fig3Adaptation", func() { Fig3(0.5) }},
 		{"AblationBackgroundTerm", func() {
@@ -51,7 +71,8 @@ func FigureBenchmarks() []NamedBench {
 			Run(Scenario{App: Wave2D, Cores: 4, Strategy: Greedy, BG: BGWave2D, Seed: 1, Scale: BenchScale})
 		}},
 		{"SweepRefineParams", func() {
-			SweepRefineParams(Wave2D, 4, []float64{0.02, 0.1}, []int{10, 40}, 1, BenchScale)
+			mustRun(Spec{App: Wave2D, Cores: []int{4}, Seeds: seeds, Scale: BenchScale,
+				EpsFracs: []float64{0.02, 0.1}, Periods: []int{10, 40}}.SweepRefineParams(ctx, Options{}))
 		}},
 		{"ExtensionCloudChurn", func() {
 			Run(Scenario{App: Wave2D, Cores: 8, Strategy: NoLB, BG: BGCloudChurn, Seed: 1, Scale: 0.5})

@@ -35,33 +35,24 @@ func CompareScenarios(app AppKind, cores int, strategies []StrategyKind, seed in
 // CompareStrategies runs every given strategy on the same interfered
 // workload (penalties against each strategy's own interference-free
 // baseline, as in the paper) and returns the results in input order.
+//
+// Deprecated: use Spec.CompareStrategies.
 func CompareStrategies(app AppKind, cores int, strategies []StrategyKind, seed int64, scale float64) []StrategyResult {
-	out, err := CompareStrategiesCtx(context.Background(), app, cores, strategies, seed, scale, RunAll)
+	out, err := Spec{App: app, Cores: []int{cores}, Strategies: strategies, Seeds: []int64{seed}, Scale: scale}.
+		CompareStrategies(context.Background(), Options{})
 	if err != nil {
-		panic(err) // unreachable: RunAll under a background context cannot fail
+		panic(err) // unreachable: sequential dispatch under a background context cannot fail
 	}
 	return out
 }
 
 // CompareStrategiesCtx is CompareStrategies with the batch dispatched
 // through exec.
+//
+// Deprecated: use Spec.CompareStrategies with Options{Executor: exec}.
 func CompareStrategiesCtx(ctx context.Context, app AppKind, cores int, strategies []StrategyKind, seed int64, scale float64, exec Executor) ([]StrategyResult, error) {
-	results, err := exec(ctx, CompareScenarios(app, cores, strategies, seed, scale))
-	if err != nil {
-		return nil, err
-	}
-	var out []StrategyResult
-	for i, k := range strategies {
-		base, r := results[2*i], results[2*i+1]
-		out = append(out, StrategyResult{
-			Strategy:   k,
-			Wall:       r.AppWall,
-			PenaltyPct: stats.TimingPenaltyPct(r.AppWall, base.AppWall),
-			Migrations: r.Migrations,
-			EnergyJ:    r.EnergyJ,
-		})
-	}
-	return out, nil
+	return Spec{App: app, Cores: []int{cores}, Strategies: strategies, Seeds: []int64{seed}, Scale: scale}.
+		CompareStrategies(ctx, Options{Executor: exec})
 }
 
 // CompareTable renders a strategy comparison.

@@ -17,6 +17,7 @@ import (
 	"cloudlb/internal/interfere"
 	"cloudlb/internal/lb"
 	"cloudlb/internal/machine"
+	"cloudlb/internal/metrics"
 	"cloudlb/internal/power"
 	"cloudlb/internal/sim"
 	"cloudlb/internal/trace"
@@ -162,6 +163,15 @@ type Scenario struct {
 	Faults elastic.Schedule
 	// Trace, when non-nil, records timelines.
 	Trace *trace.Recorder
+	// Metrics, when non-nil, receives the run's telemetry: engine event
+	// counts, per-core busy/idle, and the application runtime's series
+	// (labeled rts=app). Scenarios sharing a registry accumulate into the
+	// same series, which is the intended aggregate view; nil disables
+	// instrumentation at zero hot-path cost.
+	Metrics *metrics.Registry
+	// LBTimeline, when non-nil, accumulates one row per application LB
+	// step (see metrics.LBTimeline).
+	LBTimeline *metrics.LBTimeline
 	// MaxVirtualTime bounds the simulation (default 10000 s).
 	MaxVirtualTime sim.Time
 }
@@ -192,10 +202,11 @@ type Result struct {
 const testbedCores = 32
 
 // testbed returns the paper's machine shape.
-func testbed(eng *sim.Engine, interactivityBonus float64) *machine.Machine {
+func testbed(eng *sim.Engine, interactivityBonus float64, reg *metrics.Registry) *machine.Machine {
 	return machine.New(eng, machine.Config{
 		Nodes: 8, CoresPerNode: 4, CoreSpeed: 1,
 		InteractivityBonus: interactivityBonus,
+		Metrics:            reg,
 	})
 }
 
@@ -222,7 +233,11 @@ func Run(s Scenario) Result {
 	// should fail loudly instead of spinning; real scenarios stay well
 	// under this.
 	eng.SetEventLimit(2_000_000_000)
-	mach := testbed(eng, s.InteractivityBonus)
+	eng.SetMetrics(
+		s.Metrics.Counter("sim_events_total", "Events dispatched by the simulation engine."),
+		s.Metrics.Gauge("sim_event_heap_depth_max", "High-water mark of the pending-event heap."),
+	)
+	mach := testbed(eng, s.InteractivityBonus, s.Metrics)
 	net := xnet.New(mach, xnet.DefaultConfig())
 	rng := rand.New(rand.NewSource(s.Seed*2654435761 + 12345))
 
@@ -248,6 +263,8 @@ func Run(s Scenario) Result {
 			HierarchicalLB: s.Hierarchical,
 			Trace:          s.Trace,
 			Name:           "app",
+			Metrics:        s.Metrics,
+			LBTimeline:     s.LBTimeline,
 		})
 		buildApp(appRTS, s, rng)
 		s.Faults.Apply(appRTS)

@@ -45,45 +45,25 @@ func ElasticityScenarios(app AppKind, cores int, strategies []StrategyKind, seed
 }
 
 // EvaluateElasticity runs the elasticity matrix sequentially; see
-// EvaluateElasticityCtx.
+// Spec.Elasticity.
+//
+// Deprecated: use Spec.Elasticity.
 func EvaluateElasticity(app AppKind, cores int, strategies []StrategyKind, seeds []int64, scale float64, faults elastic.Schedule) []ElasticEval {
-	evals, err := EvaluateElasticityCtx(context.Background(), app, cores, strategies, seeds, scale, faults, RunAll)
+	evals, err := Spec{App: app, Cores: []int{cores}, Strategies: strategies, Seeds: seeds, Scale: scale, Faults: faults}.
+		Elasticity(context.Background(), Options{})
 	if err != nil {
-		panic(err) // unreachable: RunAll under a background context cannot fail
+		panic(err) // unreachable: sequential dispatch under a background context cannot fail
 	}
 	return evals
 }
 
-// EvaluateElasticityCtx measures each strategy's timing penalty under
-// the revocation schedule, averaged over seeds, with the batch
-// dispatched through exec. As with EvaluateCtx, the assembled rows are
-// identical for every executor and worker count.
+// EvaluateElasticityCtx is EvaluateElasticity with the batch dispatched
+// through exec.
+//
+// Deprecated: use Spec.Elasticity with Options{Executor: exec}.
 func EvaluateElasticityCtx(ctx context.Context, app AppKind, cores int, strategies []StrategyKind, seeds []int64, scale float64, faults elastic.Schedule, exec Executor) ([]ElasticEval, error) {
-	results, err := exec(ctx, ElasticityScenarios(app, cores, strategies, seeds, scale, faults))
-	if err != nil {
-		return nil, err
-	}
-	var out []ElasticEval
-	for ki, k := range strategies {
-		var baseW, faultW, evacs, migs []float64
-		for si := range seeds {
-			cell := results[(ki*len(seeds)+si)*elasticRunsPerCell:]
-			base, faulted := cell[0], cell[1]
-			baseW = append(baseW, base.AppWall)
-			faultW = append(faultW, faulted.AppWall)
-			evacs = append(evacs, float64(faulted.Evacuations))
-			migs = append(migs, float64(faulted.Migrations))
-		}
-		out = append(out, ElasticEval{
-			Strategy:    k,
-			BaseWall:    stats.Mean(baseW),
-			FaultWall:   stats.Mean(faultW),
-			PenaltyPct:  stats.TimingPenaltyPct(stats.Mean(faultW), stats.Mean(baseW)),
-			Evacuations: int(stats.Mean(evacs) + 0.5),
-			Migrations:  int(stats.Mean(migs) + 0.5),
-		})
-	}
-	return out, nil
+	return Spec{App: app, Cores: []int{cores}, Strategies: strategies, Seeds: seeds, Scale: scale, Faults: faults}.
+		Elasticity(ctx, Options{Executor: exec})
 }
 
 // Fig5Table renders the elasticity evaluation: timing penalty of a spot

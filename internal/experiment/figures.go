@@ -90,79 +90,24 @@ func EvaluateScenarios(app AppKind, coreCounts []int, seeds []int64, scale float
 }
 
 // Evaluate runs the full Figure 2 + Figure 4 measurement matrix for one
-// application: base run, background-alone run, interfered noLB run and
-// interfered RefineLB run, for every core count, averaged over seeds. It
-// runs sequentially; EvaluateCtx accepts an Executor for parallel runs.
+// application sequentially; see Spec.Evaluate.
+//
+// Deprecated: use Spec.Evaluate.
 func Evaluate(app AppKind, coreCounts []int, seeds []int64, scale float64) []Eval {
-	evals, err := EvaluateCtx(context.Background(), app, coreCounts, seeds, scale, RunAll)
+	evals, err := Spec{App: app, Cores: coreCounts, Seeds: seeds, Scale: scale}.
+		Evaluate(context.Background(), Options{})
 	if err != nil {
-		panic(err) // unreachable: RunAll under a background context cannot fail
+		panic(err) // unreachable: sequential dispatch under a background context cannot fail
 	}
 	return evals
 }
 
-// EvaluateCtx is Evaluate with the batch dispatched through exec. The
-// assembled rows are identical for every executor and worker count: the
-// per-seed measurement slices are rebuilt in batch order before averaging,
-// so every float is accumulated in the same order as a sequential run.
+// EvaluateCtx is Evaluate with the batch dispatched through exec.
+//
+// Deprecated: use Spec.Evaluate with Options{Executor: exec}.
 func EvaluateCtx(ctx context.Context, app AppKind, coreCounts []int, seeds []int64, scale float64, exec Executor) ([]Eval, error) {
-	results, err := exec(ctx, EvaluateScenarios(app, coreCounts, seeds, scale))
-	if err != nil {
-		return nil, err
-	}
-	var out []Eval
-	for ci, cores := range coreCounts {
-		var baseNoW, baseNoE, baseNoP []float64
-		var baseLbW, baseLbE []float64
-		var bgBaseW []float64
-		var noLBW, noLBBG, noLBE, noLBP []float64
-		var lbW, lbBG, lbE, lbP []float64
-		var migs, steps []float64
-		for si := range seeds {
-			cell := results[(ci*len(seeds)+si)*evalRunsPerCell:]
-			baseNo, baseLb, bgBase, no, lbr := cell[0], cell[1], cell[2], cell[3], cell[4]
-
-			baseNoW = append(baseNoW, baseNo.AppWall)
-			baseNoE = append(baseNoE, baseNo.EnergyJ)
-			baseNoP = append(baseNoP, baseNo.AvgPowerW)
-
-			baseLbW = append(baseLbW, baseLb.AppWall)
-			baseLbE = append(baseLbE, baseLb.EnergyJ)
-
-			bgBaseW = append(bgBaseW, bgBase.BGWall)
-
-			noLBW = append(noLBW, no.AppWall)
-			noLBBG = append(noLBBG, no.BGWall)
-			noLBE = append(noLBE, no.EnergyJ)
-			noLBP = append(noLBP, no.AvgPowerW)
-
-			lbW = append(lbW, lbr.AppWall)
-			lbBG = append(lbBG, lbr.BGWall)
-			lbE = append(lbE, lbr.EnergyJ)
-			lbP = append(lbP, lbr.AvgPowerW)
-			migs = append(migs, float64(lbr.Migrations))
-			steps = append(steps, float64(lbr.LBSteps))
-		}
-		e := Eval{
-			App: app, Cores: cores,
-			BaseWallNoLB:  stats.Mean(baseNoW),
-			BaseWallLB:    stats.Mean(baseLbW),
-			BGBase:        stats.Mean(bgBaseW),
-			PenAppNoLB:    stats.TimingPenaltyPct(stats.Mean(noLBW), stats.Mean(baseNoW)),
-			PenAppLB:      stats.TimingPenaltyPct(stats.Mean(lbW), stats.Mean(baseLbW)),
-			PenBGNoLB:     stats.TimingPenaltyPct(stats.Mean(noLBBG), stats.Mean(bgBaseW)),
-			PenBGLB:       stats.TimingPenaltyPct(stats.Mean(lbBG), stats.Mean(bgBaseW)),
-			PowerBase:     stats.Mean(baseNoP),
-			PowerNoLB:     stats.Mean(noLBP),
-			PowerLB:       stats.Mean(lbP),
-			EnergyOvhNoLB: stats.EnergyOverheadPct(stats.Mean(noLBE), stats.Mean(baseNoE)),
-			EnergyOvhLB:   stats.EnergyOverheadPct(stats.Mean(lbE), stats.Mean(baseLbE)),
-			MigrationsLB:  int(stats.Mean(migs) + 0.5),
-			LBSteps:       int(stats.Mean(steps) + 0.5),
-		}
-		out = append(out, e)
-	}
-	return out, nil
+	return Spec{App: app, Cores: coreCounts, Seeds: seeds, Scale: scale}.
+		Evaluate(ctx, Options{Executor: exec})
 }
 
 // Fig2Table renders Figure 2 for one application: timing penalty versus
@@ -213,7 +158,7 @@ func Fig1(scale float64) Fig1Result {
 	hogStart := sim.Time(perIter * float64(iters) / 3)
 
 	eng := sim.NewEngine()
-	mach := testbed(eng, 0)
+	mach := testbed(eng, 0, nil)
 	net := newNet(mach)
 	cores := []int{0, 1, 2, 3}
 	rts := newAppRTS(mach, net, cores, NoLB, rec)
@@ -259,7 +204,7 @@ func Fig3(scale float64) Fig3Result {
 		Cores:     []int{0, 1, 2, 3},
 	}
 	eng := sim.NewEngine()
-	mach := testbed(eng, 0)
+	mach := testbed(eng, 0, nil)
 	net := newNet(mach)
 	rts := newAppRTS(mach, net, res.Cores, Refine, rec)
 	buildApp(rts, s, newRNG(s.Seed))

@@ -1,0 +1,84 @@
+package experiment
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"cloudlb/internal/metrics"
+)
+
+// Options configures how a Spec evaluation dispatches its scenario batch
+// and what telemetry the runs carry. The zero value runs sequentially
+// with instrumentation disabled — exactly the behaviour of the original
+// non-Ctx entry points.
+type Options struct {
+	// Executor dispatches the batch when non-nil (e.g. runner.Pool's
+	// Executor for the full worker-pool machinery). It takes precedence
+	// over Parallel.
+	Executor Executor
+	// Parallel fans the batch out over this many goroutines when > 1 and
+	// Executor is nil — a dependency-free fan-out for callers that don't
+	// need the runner pool's statistics. Results are slotted by batch
+	// index, so assembled figures are identical at any width.
+	Parallel int
+	// Metrics, when non-nil, is attached to every scenario in the batch
+	// (see Scenario.Metrics); the runs accumulate into shared series.
+	Metrics *metrics.Registry
+	// LBTimeline, when non-nil, is attached to every scenario in the
+	// batch (see Scenario.LBTimeline).
+	LBTimeline *metrics.LBTimeline
+}
+
+// run instruments the batch per the options and dispatches it.
+func (o Options) run(ctx context.Context, batch []Scenario) ([]Result, error) {
+	if o.Metrics != nil || o.LBTimeline != nil {
+		for i := range batch {
+			if o.Metrics != nil && batch[i].Metrics == nil {
+				batch[i].Metrics = o.Metrics
+			}
+			if o.LBTimeline != nil && batch[i].LBTimeline == nil {
+				batch[i].LBTimeline = o.LBTimeline
+			}
+		}
+	}
+	switch {
+	case o.Executor != nil:
+		return o.Executor(ctx, batch)
+	case o.Parallel > 1:
+		return runParallel(ctx, o.Parallel, batch)
+	default:
+		return RunAll(ctx, batch)
+	}
+}
+
+// runParallel executes the batch on a bounded goroutine fan-out. It is
+// the in-package counterpart of runner.Pool (which cannot be imported
+// here — runner already depends on experiment): index-slotted results,
+// cooperative cancellation, no statistics.
+func runParallel(ctx context.Context, workers int, batch []Scenario) ([]Result, error) {
+	if workers > len(batch) {
+		workers = len(batch)
+	}
+	out := make([]Result, len(batch))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(batch) || ctx.Err() != nil {
+					return
+				}
+				out[i] = Run(batch[i])
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}

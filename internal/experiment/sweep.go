@@ -33,42 +33,26 @@ func SweepScenarios(app AppKind, cores int, epsFracs []float64, periods []int, s
 	return batch
 }
 
-// SweepRefineParams maps RefineLB's two tunables — the tolerance ε (as a
-// fraction of T_avg) and the load balancing period — to timing penalty
-// and migration volume on the standard interfered workload. It quantifies
-// the design constraints documented in DESIGN.md: ε must stay below the
-// background-induced uplift of T_avg (~1/P), and the period trades
-// reaction latency against LB overhead.
+// SweepRefineParams maps RefineLB's two tunables to timing penalty and
+// migration volume; see Spec.SweepRefineParams.
+//
+// Deprecated: use Spec.SweepRefineParams.
 func SweepRefineParams(app AppKind, cores int, epsFracs []float64, periods []int, seed int64, scale float64) []SweepPoint {
-	points, err := SweepRefineParamsCtx(context.Background(), app, cores, epsFracs, periods, seed, scale, RunAll)
+	points, err := Spec{App: app, Cores: []int{cores}, Seeds: []int64{seed}, Scale: scale, EpsFracs: epsFracs, Periods: periods}.
+		SweepRefineParams(context.Background(), Options{})
 	if err != nil {
-		panic(err) // unreachable: RunAll under a background context cannot fail
+		panic(err) // unreachable: sequential dispatch under a background context cannot fail
 	}
 	return points
 }
 
 // SweepRefineParamsCtx is SweepRefineParams with the batch dispatched
 // through exec.
+//
+// Deprecated: use Spec.SweepRefineParams with Options{Executor: exec}.
 func SweepRefineParamsCtx(ctx context.Context, app AppKind, cores int, epsFracs []float64, periods []int, seed int64, scale float64, exec Executor) ([]SweepPoint, error) {
-	results, err := exec(ctx, SweepScenarios(app, cores, epsFracs, periods, seed, scale))
-	if err != nil {
-		return nil, err
-	}
-	base := results[0]
-	var out []SweepPoint
-	for i, eps := range epsFracs {
-		for j, period := range periods {
-			r := results[1+i*len(periods)+j]
-			out = append(out, SweepPoint{
-				EpsilonFrac: eps,
-				SyncEvery:   period,
-				PenaltyPct:  stats.TimingPenaltyPct(r.AppWall, base.AppWall),
-				Migrations:  r.Migrations,
-				LBSteps:     r.LBSteps,
-			})
-		}
-	}
-	return out, nil
+	return Spec{App: app, Cores: []int{cores}, Seeds: []int64{seed}, Scale: scale, EpsFracs: epsFracs, Periods: periods}.
+		SweepRefineParams(ctx, Options{Executor: exec})
 }
 
 // SweepTable renders sweep results as a table.

@@ -22,7 +22,9 @@ package machine
 
 import (
 	"fmt"
+	"strconv"
 
+	"cloudlb/internal/metrics"
 	"cloudlb/internal/sim"
 )
 
@@ -43,6 +45,12 @@ type Config struct {
 	// average of a thread's sleep fraction, applied once per run/sleep
 	// cycle. Defaults to 0.25 when zero.
 	InteractivityAlpha float64
+	// Metrics, when non-nil, receives per-core busy/idle gauges
+	// (machine_core_busy_seconds / machine_core_idle_seconds). The values
+	// are published by a snapshot-time collector reading the same
+	// /proc/stat counters the balancers use for Eq. 2's O_p, so the GPS
+	// scheduler's hot path pays nothing for them.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig mirrors the paper's testbed: 8 single-socket nodes with a
@@ -102,6 +110,24 @@ func New(eng *sim.Engine, cfg Config) *Machine {
 			m.cores = append(m.cores, core)
 		}
 		m.nodes = append(m.nodes, node)
+	}
+	if reg := cfg.Metrics; reg != nil {
+		busy := make([]*metrics.Gauge, len(m.cores))
+		idle := make([]*metrics.Gauge, len(m.cores))
+		for i := range m.cores {
+			core := metrics.L("core", strconv.Itoa(i))
+			busy[i] = reg.Gauge("machine_core_busy_seconds",
+				"Cumulative busy virtual seconds per core (/proc/stat busy).", core)
+			idle[i] = reg.Gauge("machine_core_idle_seconds",
+				"Cumulative idle virtual seconds per core (/proc/stat idle).", core)
+		}
+		reg.RegisterCollector(func() {
+			for i, c := range m.cores {
+				b, id := c.ProcStat()
+				busy[i].Set(float64(b))
+				idle[i].Set(float64(id))
+			}
+		})
 	}
 	return m
 }

@@ -1,0 +1,222 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Bucket is one cumulative histogram bucket in a snapshot.
+type Bucket struct {
+	UpperBound float64 `json:"le"`
+	Count      uint64  `json:"count"`
+}
+
+// Series is one metric series frozen at Gather time.
+type Series struct {
+	Name   string  `json:"name"`
+	Help   string  `json:"help,omitempty"`
+	Kind   string  `json:"kind"`
+	Labels []Label `json:"labels,omitempty"`
+
+	// Value holds counter/gauge readings (float counters included).
+	Value float64 `json:"value,omitempty"`
+	// Histogram readings. Buckets are cumulative, ending with +Inf.
+	Buckets []Bucket `json:"buckets,omitempty"`
+	Sum     float64  `json:"sum,omitempty"`
+	Count   uint64   `json:"count,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of every series in a registry,
+// sorted by name then label values — stable output for diffing and
+// golden tests.
+type Snapshot struct {
+	Series []Series `json:"series"`
+}
+
+// Gather runs the registered collectors, then freezes every series into
+// a Snapshot. Safe to call on a nil registry (empty snapshot). Gather
+// holds the registry lock only to copy the series list; reads of the
+// atomics happen outside it.
+func (r *Registry) Gather() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	collectors := append([]func(){}, r.collectors...)
+	r.mu.Unlock()
+	for _, fn := range collectors {
+		fn()
+	}
+	r.mu.Lock()
+	ms := append([]*metric{}, r.ordered...)
+	r.mu.Unlock()
+
+	snap := Snapshot{Series: make([]Series, 0, len(ms))}
+	for _, m := range ms {
+		s := Series{
+			Name:   m.name,
+			Help:   m.help,
+			Kind:   m.kind.String(),
+			Labels: m.labels,
+		}
+		switch m.kind {
+		case kindCounter:
+			s.Value = float64(m.counter.Value())
+		case kindFloatCounter:
+			s.Value = m.fcounter.Value()
+		case kindGauge:
+			s.Value = m.gauge.Value()
+		case kindHistogram:
+			h := m.hist
+			s.Buckets = make([]Bucket, len(h.bounds)+1)
+			var cum uint64
+			for i := range h.buckets {
+				cum += h.buckets[i].Load()
+				ub := math.Inf(1)
+				if i < len(h.bounds) {
+					ub = h.bounds[i]
+				}
+				s.Buckets[i] = Bucket{UpperBound: ub, Count: cum}
+			}
+			s.Sum = h.Sum()
+			s.Count = h.Count()
+		}
+		snap.Series = append(snap.Series, s)
+	}
+	sort.SliceStable(snap.Series, func(i, j int) bool {
+		a, b := snap.Series[i], snap.Series[j]
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return labelsLess(a.Labels, b.Labels)
+	})
+	return snap
+}
+
+func labelsLess(a, b []Label) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i].Name != b[i].Name {
+			return a[i].Name < b[i].Name
+		}
+		// Numeric label values (pe/core/step indices) sort numerically so
+		// pe=10 follows pe=9 in exports.
+		av, aerr := strconv.Atoi(a[i].Value)
+		bv, berr := strconv.Atoi(b[i].Value)
+		if aerr == nil && berr == nil {
+			if av != bv {
+				return av < bv
+			}
+			continue
+		}
+		if a[i].Value != b[i].Value {
+			return a[i].Value < b[i].Value
+		}
+	}
+	return len(a) < len(b)
+}
+
+// WriteJSON gathers and writes the snapshot as indented JSON.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	snap := r.Gather()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// WritePrometheus gathers and writes the snapshot in the Prometheus text
+// exposition format (version 0.0.4): one HELP/TYPE header per metric
+// name, then every series of that name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Gather()
+	var lastName string
+	for _, s := range snap.Series {
+		if s.Name != lastName {
+			if s.Help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", s.Name, escapeHelp(s.Help)); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", s.Name, s.Kind); err != nil {
+				return err
+			}
+			lastName = s.Name
+		}
+		if err := writePromSeries(w, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromSeries(w io.Writer, s Series) error {
+	if s.Kind != "histogram" {
+		_, err := fmt.Fprintf(w, "%s%s %s\n", s.Name, promLabels(s.Labels, "", ""), promFloat(s.Value))
+		return err
+	}
+	for _, b := range s.Buckets {
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", s.Name, promLabels(s.Labels, "le", promFloat(b.UpperBound)), b.Count); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", s.Name, promLabels(s.Labels, "", ""), promFloat(s.Sum)); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", s.Name, promLabels(s.Labels, "", ""), s.Count)
+	return err
+}
+
+// promLabels renders {a="x",b="y"} with an optional extra label (the
+// histogram "le" bound). Empty label sets render as nothing.
+func promLabels(labels []Label, extra, extraVal string) string {
+	if len(labels) == 0 && extra == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Name)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteString(`"`)
+	}
+	if extra != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extra)
+		b.WriteString(`="`)
+		b.WriteString(extraVal)
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func promFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	if math.IsInf(v, -1) {
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}

@@ -1,0 +1,127 @@
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// LBStep is one load-balancing step's telemetry: what the strategy saw,
+// what it decided, and what the migration actually changed. PE-indexed
+// slices are in core order and owned by the timeline (callers must not
+// retain or mutate them after Append).
+type LBStep struct {
+	// Step is the 1-based LB step number within the run.
+	Step int `json:"step"`
+	// Time is the virtual time (seconds) at which the step ran.
+	Time float64 `json:"time"`
+	// WallSinceLB is the virtual seconds since the previous step (or run
+	// start) — the T_lb window of Eq. 2.
+	WallSinceLB float64 `json:"wall_since_lb"`
+	// MovesPlanned / MovesApplied: strategy output before and after
+	// dropping no-op moves.
+	MovesPlanned int `json:"moves_planned"`
+	MovesApplied int `json:"moves_applied"`
+	// StrategyWall is real (host) seconds spent inside Strategy.Plan.
+	StrategyWall float64 `json:"strategy_wall"`
+	// PEBackground is the per-PE background load O_p (Eq. 2) measured
+	// over the step's window, in virtual seconds.
+	PEBackground []float64 `json:"pe_background"`
+	// PELoadBefore / PELoadAfter are per-PE task loads (virtual seconds
+	// of measured task time, plus background) before and after the
+	// planned moves are applied — the strategy's own view of Eq. 1.
+	PELoadBefore []float64 `json:"pe_load_before"`
+	PELoadAfter  []float64 `json:"pe_load_after"`
+}
+
+// LBTimeline accumulates one LBStep per load-balancing step. A nil
+// timeline is the disabled state: Append is a no-op, so the charm
+// runtime records unconditionally. Appends are serialized internally:
+// scenarios run in parallel may share one timeline, though steps then
+// interleave across runs.
+type LBTimeline struct {
+	mu    sync.Mutex
+	steps []LBStep
+}
+
+// Append records one step. Safe on a nil receiver (no-op).
+func (t *LBTimeline) Append(s LBStep) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.steps = append(t.steps, s)
+	t.mu.Unlock()
+}
+
+// Len reports the number of recorded steps (0 on a nil receiver).
+func (t *LBTimeline) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.steps)
+}
+
+// Steps returns a copy of the recorded steps (nil on a nil receiver).
+func (t *LBTimeline) Steps() []LBStep {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]LBStep(nil), t.steps...)
+}
+
+// WriteTable renders the timeline as an aligned text table: one row per
+// LB step with the migration count, strategy wall time, and the min/max
+// per-PE load before and after the step — enough to eyeball Fig. 3-style
+// migration behaviour from a terminal.
+func (t *LBTimeline) WriteTable(w io.Writer) error {
+	steps := t.Steps()
+	if _, err := fmt.Fprintf(w, "%4s %10s %10s %7s %7s %12s %21s %21s %10s\n",
+		"step", "time", "window", "planned", "applied", "strategy_s",
+		"load_before(min/max)", "load_after(min/max)", "bg(max)"); err != nil {
+		return err
+	}
+	for _, s := range steps {
+		b0, b1 := minMax(s.PELoadBefore)
+		a0, a1 := minMax(s.PELoadAfter)
+		_, bg := minMax(s.PEBackground)
+		if _, err := fmt.Fprintf(w, "%4d %10.3f %10.3f %7d %7d %12.6f %10.3f/%10.3f %10.3f/%10.3f %10.3f\n",
+			s.Step, s.Time, s.WallSinceLB, s.MovesPlanned, s.MovesApplied,
+			s.StrategyWall, b0, b1, a0, a1, bg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the timeline as an indented JSON array of steps.
+func (t *LBTimeline) WriteJSON(w io.Writer) error {
+	steps := t.Steps()
+	if steps == nil {
+		steps = []LBStep{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(steps)
+}
+
+func minMax(v []float64) (lo, hi float64) {
+	if len(v) == 0 {
+		return 0, 0
+	}
+	lo, hi = v[0], v[0]
+	for _, x := range v[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}

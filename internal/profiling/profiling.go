@@ -1,15 +1,105 @@
 // Package profiling wires the standard runtime/pprof CPU and heap
-// profiles behind the -cpuprofile/-memprofile command-line flags of the
-// binaries in cmd/. It exists so every command exposes the profiles the
+// profiles and the internal/metrics export behind the shared
+// -cpuprofile/-memprofile/-metrics command-line flags of the binaries in
+// cmd/. It exists so every command exposes the observability surface the
 // same way and the README can document one workflow.
 package profiling
 
 import (
+	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
+
+	"cloudlb/internal/metrics"
 )
+
+// Flags is the shared observability flag set. RegisterFlags installs the
+// same three flags on every command so the documentation, Makefile
+// targets and muscle memory transfer between binaries.
+type Flags struct {
+	CPUProfile string
+	MemProfile string
+	// Metrics selects the runtime-metrics export: empty disables
+	// collection entirely (the registry stays nil and every instrument
+	// no-ops), "-" writes Prometheus text to stderr on exit, a *.json
+	// path writes a JSON snapshot, any other path a Prometheus text file.
+	Metrics string
+
+	reg *metrics.Registry
+}
+
+// RegisterFlags installs the shared observability flags on fs and
+// returns the struct their values land in. Call before fs.Parse.
+func RegisterFlags(fs *flag.FlagSet) *Flags {
+	f := &Flags{}
+	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a pprof CPU profile of the run to this path")
+	fs.StringVar(&f.MemProfile, "memprofile", "", "write a pprof heap profile to this path on exit")
+	fs.StringVar(&f.Metrics, "metrics", "", `collect runtime metrics and write them on exit: "-" = Prometheus text to stderr, *.json = JSON snapshot, other = Prometheus text file`)
+	return f
+}
+
+// Registry returns the registry implied by -metrics: nil when the flag
+// is unset (collection disabled, nil-safe handles make the hot paths
+// free), one shared registry otherwise. Call after flag parsing; every
+// call returns the same registry.
+func (f *Flags) Registry() *metrics.Registry {
+	if f.Metrics == "" {
+		return nil
+	}
+	if f.reg == nil {
+		f.reg = metrics.NewRegistry()
+	}
+	return f.reg
+}
+
+// Start begins the CPU profile per the flags and returns a stop function
+// that finishes the profiles and writes the metrics export — call it
+// once, after the workload, on the success path (see Start's contract).
+func (f *Flags) Start() (stop func() error, err error) {
+	stopProfiles, err := Start(f.CPUProfile, f.MemProfile)
+	if err != nil {
+		return nil, err
+	}
+	return func() error {
+		if err := stopProfiles(); err != nil {
+			return err
+		}
+		return f.writeMetrics()
+	}, nil
+}
+
+// writeMetrics exports the registry per the -metrics flag. A registry
+// that was never touched still exports (an empty document), making
+// misconfiguration visible instead of silent.
+func (f *Flags) writeMetrics() error {
+	reg := f.Registry()
+	if reg == nil {
+		return nil
+	}
+	if f.Metrics == "-" {
+		if err := reg.WritePrometheus(os.Stderr); err != nil {
+			return fmt.Errorf("profiling: %w", err)
+		}
+		return nil
+	}
+	out, err := os.Create(f.Metrics)
+	if err != nil {
+		return fmt.Errorf("profiling: %w", err)
+	}
+	defer out.Close()
+	if strings.HasSuffix(f.Metrics, ".json") {
+		err = reg.WriteJSON(out)
+	} else {
+		err = reg.WritePrometheus(out)
+	}
+	if err != nil {
+		return fmt.Errorf("profiling: %w", err)
+	}
+	return nil
+}
 
 // Start begins a CPU profile if cpuPath is non-empty and returns a stop
 // function. Calling stop finishes the CPU profile and, if memPath is

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"cloudlb/internal/experiment"
+	"cloudlb/internal/metrics"
 )
 
 // ScenarioStats is one scenario's execution record: where it sat in the
@@ -55,6 +56,10 @@ type Pool struct {
 	// Workers bounds the number of concurrently executing scenarios;
 	// <= 0 selects GOMAXPROCS.
 	Workers int
+	// Metrics, when non-nil, receives pool throughput series: scenarios
+	// completed, simulation events executed, per-scenario wall time, and
+	// queue wait (batch submission to execution start). Nil disables them.
+	Metrics *metrics.Registry
 
 	mu        sync.Mutex
 	wall      time.Duration
@@ -68,12 +73,29 @@ type Pool struct {
 // results are discarded and only the error is returned; completed
 // scenarios still count toward the pool's accumulated totals.
 func (p *Pool) RunBatch(ctx context.Context, batch []experiment.Scenario) ([]experiment.Result, *BatchStats, error) {
+	// Registration is idempotent, so re-resolving handles per batch keeps
+	// the handles off the Pool struct while sharing series across batches.
+	var (
+		mScenarios = p.Metrics.Counter("runner_scenarios_total",
+			"Scenarios completed by the pool.")
+		mEvents = p.Metrics.Counter("runner_sim_events_total",
+			"Simulation events executed across pool scenarios.")
+		mWall = p.Metrics.Histogram("runner_scenario_wall_seconds",
+			"Real seconds per scenario.", metrics.DefTimeBuckets())
+		mQueue = p.Metrics.Histogram("runner_queue_wait_seconds",
+			"Real seconds a scenario waited for a pool worker.", metrics.DefTimeBuckets())
+	)
 	stats := &BatchStats{Scenarios: make([]ScenarioStats, len(batch))}
 	start := time.Now()
 	results, err := Map(ctx, p.Workers, batch, func(_ context.Context, i int, s experiment.Scenario) (experiment.Result, error) {
 		t0 := time.Now()
+		mQueue.Observe(t0.Sub(start).Seconds())
 		r := experiment.Run(s)
-		stats.Scenarios[i] = ScenarioStats{Index: i, Wall: time.Since(t0), Events: r.Events}
+		wall := time.Since(t0)
+		stats.Scenarios[i] = ScenarioStats{Index: i, Wall: wall, Events: r.Events}
+		mScenarios.Inc()
+		mEvents.Add(r.Events)
+		mWall.Observe(wall.Seconds())
 		return r, nil
 	})
 	stats.Wall = time.Since(start)

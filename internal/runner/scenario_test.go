@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"cloudlb/internal/experiment"
+	"cloudlb/internal/metrics"
 )
 
 // evalsEqual compares Eval rows field by field, treating NaN as equal to
@@ -141,4 +142,57 @@ func TestRunBatchCancellation(t *testing.T) {
 	if _, err := experiment.EvaluateCtx(ctx, experiment.Jacobi2D, []int{4}, []int64{1}, 0.1, pool.Executor()); !errors.Is(err, context.Canceled) {
 		t.Fatalf("EvaluateCtx err = %v, want context.Canceled", err)
 	}
+}
+
+// TestPoolMetrics checks the pool's telemetry against its own stats: the
+// scenario and event counters must agree with the batch totals, and the
+// per-scenario wall and queue-wait histograms must have one sample per
+// scenario. The batch runs in parallel while all scenarios share the
+// registry, so -race doubles as the registry's integration concurrency
+// test.
+func TestPoolMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	pool := &Pool{Workers: 4, Metrics: reg}
+	batch := []experiment.Scenario{
+		{App: experiment.Wave2D, Cores: 4, Strategy: experiment.NoLB, Seed: 1, Scale: 0.1, Metrics: reg},
+		{App: experiment.Wave2D, Cores: 4, Strategy: experiment.Refine, Seed: 2, Scale: 0.1, Metrics: reg},
+		{App: experiment.Wave2D, Cores: 4, Strategy: experiment.Refine, Seed: 3, Scale: 0.1, Metrics: reg},
+	}
+	_, stats, err := pool.RunBatch(context.Background(), batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Gather()
+	get := func(name string) metrics.Series {
+		t.Helper()
+		for _, s := range snap.Series {
+			if s.Name == name && len(s.Labels) == 0 {
+				return s
+			}
+		}
+		t.Fatalf("series %s not found", name)
+		return metrics.Series{}
+	}
+	if got := get("runner_scenarios_total").Value; got != float64(len(batch)) {
+		t.Errorf("runner_scenarios_total = %v, want %d", got, len(batch))
+	}
+	if got := get("runner_sim_events_total").Value; got != float64(stats.Events) {
+		t.Errorf("runner_sim_events_total = %v, batch stats say %d", got, stats.Events)
+	}
+	for _, name := range []string{"runner_scenario_wall_seconds", "runner_queue_wait_seconds"} {
+		if got := get(name).Count; got != uint64(len(batch)) {
+			t.Errorf("%s count = %d, want %d", name, got, len(batch))
+		}
+	}
+	// The scenarios carried the registry too: engine events flowed into
+	// sim_events_total, and they must equal the runner's per-scenario sum.
+	for _, s := range snap.Series {
+		if s.Name == "sim_events_total" {
+			if s.Value != float64(stats.Events) {
+				t.Errorf("sim_events_total = %v, runner counted %d", s.Value, stats.Events)
+			}
+			return
+		}
+	}
+	t.Error("sim_events_total not exported by instrumented scenarios")
 }

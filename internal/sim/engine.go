@@ -10,6 +10,8 @@ package sim
 import (
 	"fmt"
 	"math"
+
+	"cloudlb/internal/metrics"
 )
 
 // Time is a point in virtual time, in seconds since the start of the
@@ -56,6 +58,10 @@ type Engine struct {
 	executed uint64
 	// limit aborts runaway simulations; 0 means no limit.
 	limit uint64
+	// Optional telemetry handles (see SetMetrics). Nil handles are no-ops,
+	// so Step updates them unconditionally.
+	metEvents    *metrics.Counter
+	metHeapDepth *metrics.Gauge
 }
 
 // NewEngine returns an engine at virtual time zero.
@@ -72,6 +78,14 @@ func (e *Engine) Executed() uint64 { return e.executed }
 // SetEventLimit makes Run fail after n events have fired (0 disables the
 // limit). It is a guard against accidentally divergent models.
 func (e *Engine) SetEventLimit(n uint64) { e.limit = n }
+
+// SetMetrics attaches telemetry handles: events counts every fired event,
+// heapDepth tracks the high-water mark of the pending-event heap. Either
+// may be nil (no-op); metrics never perturb virtual time.
+func (e *Engine) SetMetrics(events *metrics.Counter, heapDepth *metrics.Gauge) {
+	e.metEvents = events
+	e.metHeapDepth = heapDepth
+}
 
 // Pending reports the number of scheduled (not yet fired or cancelled)
 // events.
@@ -134,6 +148,7 @@ func (e *Engine) Cancel(id EventID) {
 
 // Step fires the single next event. It reports false when no events remain.
 func (e *Engine) Step() bool {
+	e.metHeapDepth.SetMax(float64(e.pending.len()))
 	for e.pending.len() > 0 {
 		ev := e.pending.pop()
 		if ev.dead {
@@ -143,6 +158,7 @@ func (e *Engine) Step() bool {
 		fn := ev.fn
 		e.now = ev.at
 		e.executed++
+		e.metEvents.Inc()
 		// Recycle before firing: fn is captured locally, and any event the
 		// callback schedules may immediately reuse the struct (its stale
 		// EventIDs are fenced off by the sequence check in Cancel).
