@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint race check bench benchjson verify-results figures metrics-smoke
+.PHONY: build test vet lint race check bench benchjson verify-results figures metrics-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -39,7 +39,7 @@ lint: vet
 race:
 	$(GO) test -race ./...
 
-check: build lint test race bench
+check: build lint test race bench serve-smoke
 
 # Benchmark smoke: every benchmark runs exactly one iteration. Catches
 # bench bodies that rot (they only compile under -bench) without paying
@@ -64,6 +64,38 @@ metrics-smoke:
 			echo "metrics-smoke: series $$series missing from export"; exit 1; }; \
 	done; \
 	echo "metrics-smoke: export OK ($$(echo "$$out" | grep -c '^[a-z]') samples)"
+
+# Telemetry smoke: boot lbsim with the embedded server on a free port,
+# scrape every JSON/Prometheus endpoint while -serve-wait holds the run
+# open, and assert the acceptance series/fields answer. Catches wiring
+# rot between the flags, the server and the instrumented layers.
+serve-smoke:
+	@$(GO) build -o /tmp/lbsim-serve-smoke ./cmd/lbsim; \
+	log=$$(mktemp); \
+	/tmp/lbsim-serve-smoke -app wave2d -cores 8 -strategy refine -bg -scale 0.1 \
+		-serve 127.0.0.1:0 -serve-wait 15s >/dev/null 2>"$$log" & \
+	pid=$$!; \
+	addr=""; \
+	for i in $$(seq 1 100); do \
+		addr=$$(sed -n 's|^telemetry: serving on http://\([^/]*\)/$$|\1|p' "$$log"); \
+		[ -n "$$addr" ] && break; \
+		kill -0 $$pid 2>/dev/null || { echo "serve-smoke: lbsim exited early"; cat "$$log"; rm -f "$$log"; exit 1; }; \
+		sleep 0.1; \
+	done; \
+	[ -n "$$addr" ] || { echo "serve-smoke: no serving address in stderr"; cat "$$log"; kill $$pid; rm -f "$$log"; exit 1; }; \
+	fail=0; \
+	metrics=$$(curl -sf "http://$$addr/metrics") || fail=1; \
+	for series in sim_events_total charm_lb_migrations_total machine_core_busy_seconds; do \
+		echo "$$metrics" | grep -q "^$$series" || { echo "serve-smoke: /metrics missing $$series"; fail=1; }; \
+	done; \
+	run=$$(curl -sf "http://$$addr/api/run") || fail=1; \
+	echo "$$run" | grep -q '"scenarios_total"' || { echo "serve-smoke: /api/run missing scenarios_total"; fail=1; }; \
+	steps=$$(curl -sf "http://$$addr/api/lbsteps") || fail=1; \
+	echo "$$steps" | grep -q '"steps"' || { echo "serve-smoke: /api/lbsteps missing steps"; fail=1; }; \
+	curl -sf "http://$$addr/" | grep -q '<!DOCTYPE html>' || { echo "serve-smoke: dashboard missing"; fail=1; }; \
+	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; rm -f "$$log"; \
+	[ $$fail -eq 0 ] || exit 1; \
+	echo "serve-smoke: all endpoints OK on $$addr"
 
 # Regenerate the committed results/ tree (byte-identical at any -parallel).
 # Figure 5 is the elasticity extension and stays out of "-fig all" so the

@@ -126,8 +126,8 @@ func main() {
 	// never touch stdout, so the oracle stays byte-identical either way.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	pool := &runner.Pool{Workers: *parallel, Metrics: prof.Registry()}
-	opts := experiment.Options{Executor: pool.Executor(), Metrics: prof.Registry()}
+	pool := &runner.Pool{Workers: *parallel, Metrics: prof.Registry(), Progress: prof.Tracker()}
+	opts := experiment.Options{Executor: pool.Executor(), Metrics: prof.Registry(), LBTimeline: prof.Timeline()}
 	start := time.Now()
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "figures:", err)

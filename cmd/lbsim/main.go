@@ -166,6 +166,7 @@ func main() {
 	batch := spec.Scenarios()
 	for i := range batch {
 		batch[i].Metrics = prof.Registry()
+		batch[i].LBTimeline = prof.Timeline()
 	}
 	if *chromePath != "" {
 		rec = trace.NewRecorder()
@@ -174,7 +175,7 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
-	pool := &runner.Pool{Workers: *parallel, Metrics: prof.Registry()}
+	pool := &runner.Pool{Workers: *parallel, Metrics: prof.Registry(), Progress: prof.Tracker()}
 	results, batchStats, err := pool.RunBatch(ctx, batch)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lbsim:", err)

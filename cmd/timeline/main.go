@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"cloudlb/internal/apps"
 	"cloudlb/internal/charm"
@@ -78,8 +79,10 @@ func main() {
 	net := xnet.New(mach, xnet.DefaultConfig())
 	rec := trace.NewRecorder()
 
-	var tl *metrics.LBTimeline
-	if *lbSteps {
+	// The LB-step timeline feeds both the -lbsteps table and the -serve
+	// /api/lbsteps endpoint; either flag enables it.
+	tl := prof.Timeline()
+	if tl == nil && *lbSteps {
 		tl = &metrics.LBTimeline{}
 	}
 	rts := charm.NewRTS(charm.Config{
@@ -95,12 +98,20 @@ func main() {
 	interfere.StartHog(mach, interfere.HogConfig{Core: 1, Start: sim.Time(*hog1), Stop: sim.Time(*hog1stop), Trace: rec, Name: "vm-a"})
 	interfere.StartHog(mach, interfere.HogConfig{Core: 3, Start: sim.Time(*hog2), Stop: sim.Time(*hog2stop), Trace: rec, Name: "vm-b"})
 
+	tracker := prof.Tracker()
+	tracker.BatchQueued(1)
+	tracker.ScenarioStarted(0)
+	t0 := time.Now()
 	rts.Start()
 	for !rts.Finished() && eng.Now() < 1000 {
 		if err := eng.RunUntil(eng.Now() + 1); err != nil {
 			panic(err)
 		}
+		// Publish per-core busy/idle so a live -serve scrape sees them move.
+		mach.PublishMetrics()
 	}
+	mach.PublishMetrics()
+	tracker.ScenarioDone(0, time.Since(t0), eng.Executed())
 	finish := rts.FinishTime()
 	fmt.Printf("Wave2D (%s) finished at %.2fs, %d migrations, %d LB steps\n\n",
 		*strategy, float64(finish), rts.Migrations(), rts.LBSteps())

@@ -335,10 +335,14 @@ func Run(s Scenario) Result {
 		if err := eng.RunUntil(eng.Now() + 1); err != nil {
 			panic(err)
 		}
+		// Publish per-core busy/idle from the owning goroutine so a live
+		// /metrics scrape sees them move without touching scheduler state.
+		mach.PublishMetrics()
 	}
 	if !finished() {
 		panic(fmt.Sprintf("experiment: scenario %+v did not finish by t=%v", s, s.MaxVirtualTime))
 	}
+	mach.PublishMetrics()
 
 	res := Result{AppWall: math.NaN(), BGWall: math.NaN()}
 	if appRTS != nil {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"cloudlb/internal/metrics"
 )
@@ -28,6 +29,12 @@ type Options struct {
 	// LBTimeline, when non-nil, is attached to every scenario in the
 	// batch (see Scenario.LBTimeline).
 	LBTimeline *metrics.LBTimeline
+	// Progress, when non-nil, receives batch lifecycle notifications for
+	// the in-package dispatch paths (sequential and Parallel). When
+	// Executor is set the executor owns notification instead — runner.Pool
+	// notifies through its own Progress field — so a batch is never
+	// double-counted.
+	Progress Progress
 }
 
 // run instruments the batch per the options and dispatches it.
@@ -46,7 +53,23 @@ func (o Options) run(ctx context.Context, batch []Scenario) ([]Result, error) {
 	case o.Executor != nil:
 		return o.Executor(ctx, batch)
 	case o.Parallel > 1:
-		return runParallel(ctx, o.Parallel, batch)
+		if o.Progress != nil {
+			o.Progress.BatchQueued(len(batch))
+		}
+		return runParallel(ctx, o.Parallel, batch, o.Progress)
+	case o.Progress != nil:
+		o.Progress.BatchQueued(len(batch))
+		out := make([]Result, len(batch))
+		for i, s := range batch {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			o.Progress.ScenarioStarted(i)
+			t0 := time.Now()
+			out[i] = Run(s)
+			o.Progress.ScenarioDone(i, time.Since(t0), out[i].Events)
+		}
+		return out, nil
 	default:
 		return RunAll(ctx, batch)
 	}
@@ -56,7 +79,7 @@ func (o Options) run(ctx context.Context, batch []Scenario) ([]Result, error) {
 // the in-package counterpart of runner.Pool (which cannot be imported
 // here — runner already depends on experiment): index-slotted results,
 // cooperative cancellation, no statistics.
-func runParallel(ctx context.Context, workers int, batch []Scenario) ([]Result, error) {
+func runParallel(ctx context.Context, workers int, batch []Scenario, prog Progress) ([]Result, error) {
 	if workers > len(batch) {
 		workers = len(batch)
 	}
@@ -72,7 +95,14 @@ func runParallel(ctx context.Context, workers int, batch []Scenario) ([]Result, 
 				if i >= len(batch) || ctx.Err() != nil {
 					return
 				}
+				if prog != nil {
+					prog.ScenarioStarted(i)
+				}
+				t0 := time.Now()
 				out[i] = Run(batch[i])
+				if prog != nil {
+					prog.ScenarioDone(i, time.Since(t0), out[i].Events)
+				}
 			}
 		}()
 	}

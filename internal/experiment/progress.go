@@ -1,0 +1,23 @@
+package experiment
+
+import "time"
+
+// Progress receives scenario-batch lifecycle notifications — the hook
+// behind the telemetry server's /api/run fleet view. Implementations
+// must be safe for concurrent use: under a parallel executor the
+// Scenario callbacks arrive from many worker goroutines at once.
+//
+// Exactly one layer notifies per batch: Options.run when it dispatches
+// in-package (sequential or Parallel), or the Executor when one is set
+// (runner.Pool notifies through its own Progress field). Telemetry
+// trackers accumulate across batches, so a multi-batch run (cmd/figures)
+// reports fleet-wide totals.
+type Progress interface {
+	// BatchQueued announces n scenarios entering the queue.
+	BatchQueued(n int)
+	// ScenarioStarted marks batch index i as in flight.
+	ScenarioStarted(index int)
+	// ScenarioDone reports one finished scenario: its batch index, real
+	// execution time, and simulation events executed.
+	ScenarioDone(index int, wall time.Duration, events uint64)
+}

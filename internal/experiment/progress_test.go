@@ -1,0 +1,91 @@
+package experiment
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeProgress counts lifecycle notifications; safe for concurrent use.
+type fakeProgress struct {
+	mu      sync.Mutex
+	queued  int
+	started int
+	done    int
+	events  uint64
+}
+
+func (f *fakeProgress) BatchQueued(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.queued += n
+}
+
+func (f *fakeProgress) ScenarioStarted(int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.started++
+}
+
+func (f *fakeProgress) ScenarioDone(_ int, wall time.Duration, events uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.done++
+	f.events += events
+}
+
+func (f *fakeProgress) counts() (queued, started, done int, events uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.queued, f.started, f.done, f.events
+}
+
+func progressSpec() Spec {
+	return Spec{App: Jacobi2D, Cores: []int{4}, Seeds: []int64{1}, Scale: 0.1}
+}
+
+func TestOptionsProgressSequential(t *testing.T) {
+	f := &fakeProgress{}
+	if _, err := progressSpec().Evaluate(context.Background(), Options{Progress: f}); err != nil {
+		t.Fatal(err)
+	}
+	queued, started, done, events := f.counts()
+	if queued == 0 {
+		t.Fatal("no scenarios queued")
+	}
+	if started != queued || done != queued {
+		t.Fatalf("started/done = %d/%d, want %d each", started, done, queued)
+	}
+	if events == 0 {
+		t.Fatal("no events reported")
+	}
+}
+
+func TestOptionsProgressParallel(t *testing.T) {
+	f := &fakeProgress{}
+	if _, err := progressSpec().Evaluate(context.Background(), Options{Progress: f, Parallel: 2}); err != nil {
+		t.Fatal(err)
+	}
+	queued, started, done, _ := f.counts()
+	if queued == 0 || started != queued || done != queued {
+		t.Fatalf("queued/started/done = %d/%d/%d", queued, started, done)
+	}
+}
+
+// TestOptionsProgressExecutorOwnsNotification: with an Executor set, the
+// options layer must stay silent — the executor (runner.Pool in
+// production) notifies through its own hook, and notifying here too
+// would double-count every scenario.
+func TestOptionsProgressExecutorOwnsNotification(t *testing.T) {
+	f := &fakeProgress{}
+	exec := func(ctx context.Context, batch []Scenario) ([]Result, error) {
+		return RunAll(ctx, batch)
+	}
+	if _, err := progressSpec().Evaluate(context.Background(), Options{Executor: exec, Progress: f}); err != nil {
+		t.Fatal(err)
+	}
+	if queued, started, done, _ := f.counts(); queued != 0 || started != 0 || done != 0 {
+		t.Fatalf("options layer notified despite Executor: %d/%d/%d", queued, started, done)
+	}
+}

@@ -47,9 +47,11 @@ type Config struct {
 	InteractivityAlpha float64
 	// Metrics, when non-nil, receives per-core busy/idle gauges
 	// (machine_core_busy_seconds / machine_core_idle_seconds). The values
-	// are published by a snapshot-time collector reading the same
+	// are published by PublishMetrics — called from the goroutine driving
+	// the simulation at whatever cadence it chooses — reading the same
 	// /proc/stat counters the balancers use for Eq. 2's O_p, so the GPS
-	// scheduler's hot path pays nothing for them.
+	// scheduler's hot path pays nothing for them and a live /metrics
+	// scrape never touches scheduler state.
 	Metrics *metrics.Registry
 }
 
@@ -71,6 +73,11 @@ type Machine struct {
 	cfg   Config
 	nodes []*Node
 	cores []*Core // flattened, global core IDs
+
+	// metricsBusy/metricsIdle are the per-core gauges PublishMetrics
+	// feeds; nil without Config.Metrics.
+	metricsBusy []*metrics.Gauge
+	metricsIdle []*metrics.Gauge
 }
 
 // Node groups the cores that share a physical box (and a power supply).
@@ -112,24 +119,35 @@ func New(eng *sim.Engine, cfg Config) *Machine {
 		m.nodes = append(m.nodes, node)
 	}
 	if reg := cfg.Metrics; reg != nil {
-		busy := make([]*metrics.Gauge, len(m.cores))
-		idle := make([]*metrics.Gauge, len(m.cores))
+		m.metricsBusy = make([]*metrics.Gauge, len(m.cores))
+		m.metricsIdle = make([]*metrics.Gauge, len(m.cores))
 		for i := range m.cores {
 			core := metrics.L("core", strconv.Itoa(i))
-			busy[i] = reg.Gauge("machine_core_busy_seconds",
+			m.metricsBusy[i] = reg.Gauge("machine_core_busy_seconds",
 				"Cumulative busy virtual seconds per core (/proc/stat busy).", core)
-			idle[i] = reg.Gauge("machine_core_idle_seconds",
+			m.metricsIdle[i] = reg.Gauge("machine_core_idle_seconds",
 				"Cumulative idle virtual seconds per core (/proc/stat idle).", core)
 		}
-		reg.RegisterCollector(func() {
-			for i, c := range m.cores {
-				b, id := c.ProcStat()
-				busy[i].Set(float64(b))
-				idle[i].Set(float64(id))
-			}
-		})
 	}
 	return m
+}
+
+// PublishMetrics settles every core and stores the cumulative busy/idle
+// counters into the machine_core_* gauges. It must run on the goroutine
+// driving the simulation — settling mutates scheduler state — which is
+// why it is an explicit call (the scenario loop invokes it once per
+// virtual second and once at the end) rather than a Gather-time
+// collector: a concurrent scrape then only reads the atomic gauges and
+// never races the scheduler. No-op without Config.Metrics.
+func (m *Machine) PublishMetrics() {
+	if m.metricsBusy == nil {
+		return
+	}
+	for i, c := range m.cores {
+		b, id := c.ProcStat()
+		m.metricsBusy[i].Set(float64(b))
+		m.metricsIdle[i].Set(float64(id))
+	}
 }
 
 // Engine returns the driving simulation engine.

@@ -16,6 +16,40 @@ type Bucket struct {
 	Count      uint64  `json:"count"`
 }
 
+// bucketJSON is Bucket's wire form: the bound rides as a string because
+// the final bucket's +Inf has no JSON number representation (encoding a
+// raw +Inf float makes Marshal fail, which used to abort every histogram
+// JSON export).
+type bucketJSON struct {
+	LE    string `json:"le"`
+	Count uint64 `json:"count"`
+}
+
+func (b Bucket) MarshalJSON() ([]byte, error) {
+	return json.Marshal(bucketJSON{LE: promFloat(b.UpperBound), Count: b.Count})
+}
+
+func (b *Bucket) UnmarshalJSON(data []byte) error {
+	var aux bucketJSON
+	if err := json.Unmarshal(data, &aux); err != nil {
+		return err
+	}
+	switch aux.LE {
+	case "+Inf":
+		b.UpperBound = math.Inf(1)
+	case "-Inf":
+		b.UpperBound = math.Inf(-1)
+	default:
+		v, err := strconv.ParseFloat(aux.LE, 64)
+		if err != nil {
+			return err
+		}
+		b.UpperBound = v
+	}
+	b.Count = aux.Count
+	return nil
+}
+
 // Series is one metric series frozen at Gather time.
 type Series struct {
 	Name   string  `json:"name"`
@@ -29,6 +63,84 @@ type Series struct {
 	Buckets []Bucket `json:"buckets,omitempty"`
 	Sum     float64  `json:"sum,omitempty"`
 	Count   uint64   `json:"count,omitempty"`
+	// P50/P95/P99 are quantiles estimated from the bucket boundaries
+	// (see EstimateQuantile); present for histograms only.
+	P50 float64 `json:"p50,omitempty"`
+	P95 float64 `json:"p95,omitempty"`
+	P99 float64 `json:"p99,omitempty"`
+}
+
+// HistogramSnapshot is one histogram frozen outside a registry snapshot:
+// cumulative buckets plus the derived totals and estimated quantiles.
+type HistogramSnapshot struct {
+	Count   uint64   `json:"count"`
+	Sum     float64  `json:"sum"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+	P50     float64  `json:"p50"`
+	P95     float64  `json:"p95"`
+	P99     float64  `json:"p99"`
+}
+
+// Snapshot freezes the histogram's current state. Safe on a nil receiver
+// (zero snapshot) and safe to call concurrently with Observe: the bucket
+// loads are atomic, so a snapshot racing an observation is off by at
+// most that observation.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	s := HistogramSnapshot{Buckets: make([]Bucket, len(h.buckets))}
+	var cum uint64
+	for i := range h.buckets {
+		cum += h.buckets[i].Load()
+		ub := math.Inf(1)
+		if i < len(h.bounds) {
+			ub = h.bounds[i]
+		}
+		s.Buckets[i] = Bucket{UpperBound: ub, Count: cum}
+	}
+	s.Count = h.Count()
+	s.Sum = h.Sum()
+	s.P50 = EstimateQuantile(s.Buckets, 0.50)
+	s.P95 = EstimateQuantile(s.Buckets, 0.95)
+	s.P99 = EstimateQuantile(s.Buckets, 0.99)
+	return s
+}
+
+// EstimateQuantile estimates the q-quantile (0 < q < 1) of a histogram
+// from its cumulative buckets by linear interpolation inside the bucket
+// holding the target rank — the same model as Prometheus's
+// histogram_quantile. Observations in the +Inf bucket clamp to the
+// highest finite bound (the histogram cannot see past it); an empty
+// histogram reports 0.
+func EstimateQuantile(buckets []Bucket, q float64) float64 {
+	if len(buckets) == 0 {
+		return 0
+	}
+	total := buckets[len(buckets)-1].Count
+	if total == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var prevCount uint64
+	var prevBound float64
+	for _, b := range buckets {
+		if float64(b.Count) >= rank {
+			if math.IsInf(b.UpperBound, 1) {
+				return prevBound
+			}
+			in := float64(b.Count - prevCount)
+			if in <= 0 {
+				return b.UpperBound
+			}
+			return prevBound + (b.UpperBound-prevBound)*(rank-float64(prevCount))/in
+		}
+		prevCount = b.Count
+		if !math.IsInf(b.UpperBound, 1) {
+			prevBound = b.UpperBound
+		}
+	}
+	return prevBound
 }
 
 // Snapshot is a point-in-time copy of every series in a registry,
@@ -85,6 +197,9 @@ func (r *Registry) Gather() Snapshot {
 			}
 			s.Sum = h.Sum()
 			s.Count = h.Count()
+			s.P50 = EstimateQuantile(s.Buckets, 0.50)
+			s.P95 = EstimateQuantile(s.Buckets, 0.95)
+			s.P99 = EstimateQuantile(s.Buckets, 0.99)
 		}
 		snap.Series = append(snap.Series, s)
 	}
@@ -210,13 +325,16 @@ func promFloat(v float64) string {
 	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
-func escapeLabel(s string) string {
-	s = strings.ReplaceAll(s, `\`, `\\`)
-	s = strings.ReplaceAll(s, "\n", `\n`)
-	return strings.ReplaceAll(s, `"`, `\"`)
-}
+// The 0.0.4 text format escapes exactly three characters in label
+// values (backslash, newline, double quote) and two in HELP text
+// (backslash, newline — quotes pass through unescaped there). Each
+// replacer walks the string once, so a literal `\n` two-character
+// sequence cannot be double-escaped by a later pass.
+var (
+	labelEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	helpEscaper  = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+)
 
-func escapeHelp(s string) string {
-	s = strings.ReplaceAll(s, `\`, `\\`)
-	return strings.ReplaceAll(s, "\n", `\n`)
-}
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }

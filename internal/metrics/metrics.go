@@ -197,6 +197,22 @@ func (h *Histogram) Sum() float64 {
 	return h.sum.Value()
 }
 
+// NewHistogram returns a standalone histogram that is not registered
+// with any registry — for subsystems (e.g. the telemetry run tracker)
+// that aggregate observations themselves and export them through their
+// own snapshot types. Bounds must be ascending.
+func NewHistogram(bounds []float64) *Histogram {
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic("metrics: NewHistogram bounds not ascending")
+		}
+	}
+	return &Histogram{
+		bounds:  append([]float64(nil), bounds...),
+		buckets: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
 // ExpBuckets returns n upper bounds starting at start, each factor times
 // the previous — the standard shape for latency histograms.
 func ExpBuckets(start, factor float64, n int) []float64 {
@@ -377,11 +393,13 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Labe
 }
 
 // RegisterCollector adds a hook run at the start of every Gather, so
-// subsystems can publish state they account internally (e.g. per-core
-// /proc/stat counters) without paying any hot-path cost. Collectors read
-// live simulation state: callers must not Gather while the simulations
-// feeding the registry are still running. A nil registry ignores the
-// hook.
+// subsystems can publish state they account internally without paying
+// any hot-path cost. With a live telemetry server attached, Gather runs
+// on scrape goroutines at arbitrary times, so collectors must only read
+// state that is safe to read concurrently with the simulations feeding
+// the registry (subsystems that cannot guarantee that publish from their
+// own goroutine instead — see machine.PublishMetrics). A nil registry
+// ignores the hook.
 func (r *Registry) RegisterCollector(fn func()) {
 	if r == nil {
 		return

@@ -41,18 +41,58 @@ type LBStep struct {
 // scenarios run in parallel may share one timeline, though steps then
 // interleave across runs.
 type LBTimeline struct {
-	mu    sync.Mutex
-	steps []LBStep
+	mu     sync.Mutex
+	steps  []LBStep
+	notify func(index int, s LBStep)
 }
 
-// Append records one step. Safe on a nil receiver (no-op).
+// Append records one step. Safe on a nil receiver (no-op). If a notify
+// hook is set (SetNotify), it runs after the append on the appending
+// goroutine, outside the timeline lock.
 func (t *LBTimeline) Append(s LBStep) {
 	if t == nil {
 		return
 	}
 	t.mu.Lock()
 	t.steps = append(t.steps, s)
+	index, fn := len(t.steps)-1, t.notify
 	t.mu.Unlock()
+	if fn != nil {
+		fn(index, s)
+	}
+}
+
+// SetNotify registers fn to run after every Append with the new step and
+// its index — the live-subscription hook behind the telemetry server's
+// SSE stream. One hook at a time (nil clears it); fn runs on whatever
+// goroutine appended, possibly several concurrently under the parallel
+// runner, so it must be fast and thread-safe. Safe on a nil receiver.
+func (t *LBTimeline) SetNotify(fn func(index int, s LBStep)) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.notify = fn
+	t.mu.Unlock()
+}
+
+// StepsSince returns a copy of the steps recorded at index from onward —
+// the incremental read behind /api/lbsteps?since=N. A negative or
+// out-of-range from yields the full or empty slice respectively; nil on
+// a nil receiver.
+func (t *LBTimeline) StepsSince(from int) []LBStep {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if from < 0 {
+		from = 0
+	}
+	if from >= len(t.steps) {
+		return []LBStep{}
+	}
+	return append([]LBStep(nil), t.steps[from:]...)
 }
 
 // Len reports the number of recorded steps (0 on a nil receiver).

@@ -1,8 +1,9 @@
 // Package profiling wires the standard runtime/pprof CPU and heap
-// profiles and the internal/metrics export behind the shared
-// -cpuprofile/-memprofile/-metrics command-line flags of the binaries in
-// cmd/. It exists so every command exposes the observability surface the
-// same way and the README can document one workflow.
+// profiles, the internal/metrics export, and the internal/telemetry live
+// server behind the shared -cpuprofile/-memprofile/-metrics/-serve
+// command-line flags of the binaries in cmd/. It exists so every command
+// exposes the observability surface the same way and the README can
+// document one workflow.
 package profiling
 
 import (
@@ -12,23 +13,37 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
 	"cloudlb/internal/metrics"
+	"cloudlb/internal/telemetry"
 )
 
 // Flags is the shared observability flag set. RegisterFlags installs the
-// same three flags on every command so the documentation, Makefile
-// targets and muscle memory transfer between binaries.
+// same flags on every command so the documentation, Makefile targets and
+// muscle memory transfer between binaries.
 type Flags struct {
 	CPUProfile string
 	MemProfile string
-	// Metrics selects the runtime-metrics export: empty disables
-	// collection entirely (the registry stays nil and every instrument
-	// no-ops), "-" writes Prometheus text to stderr on exit, a *.json
-	// path writes a JSON snapshot, any other path a Prometheus text file.
+	// Metrics selects the runtime-metrics export: empty disables the
+	// export ("-serve" may still enable collection), "-" writes Prometheus
+	// text to stderr on exit, a *.json path writes a JSON snapshot, any
+	// other path a Prometheus text file.
 	Metrics string
+	// Serve, when non-empty, starts the embedded telemetry server on this
+	// address ("127.0.0.1:0" picks a free port) for the duration of the
+	// run: live /metrics scrape, /api/run + /api/lbsteps JSON, /events
+	// SSE, /debug/pprof and the dashboard at /.
+	Serve string
+	// ServeWait keeps the telemetry server answering for this long after
+	// the workload finishes, so a scraper or browser can take a final
+	// reading before the process exits.
+	ServeWait time.Duration
 
-	reg *metrics.Registry
+	reg     *metrics.Registry
+	tl      *metrics.LBTimeline
+	tracker *telemetry.RunTracker
+	srv     *telemetry.Server
 }
 
 // RegisterFlags installs the shared observability flags on fs and
@@ -38,15 +53,17 @@ func RegisterFlags(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.CPUProfile, "cpuprofile", "", "write a pprof CPU profile of the run to this path")
 	fs.StringVar(&f.MemProfile, "memprofile", "", "write a pprof heap profile to this path on exit")
 	fs.StringVar(&f.Metrics, "metrics", "", `collect runtime metrics and write them on exit: "-" = Prometheus text to stderr, *.json = JSON snapshot, other = Prometheus text file`)
+	fs.StringVar(&f.Serve, "serve", "", `serve live telemetry over HTTP on this address for the duration of the run (e.g. "127.0.0.1:8080", ":0" picks a port)`)
+	fs.DurationVar(&f.ServeWait, "serve-wait", 0, "keep the -serve endpoints up this long after the run completes so a final scrape isn't lost")
 	return f
 }
 
-// Registry returns the registry implied by -metrics: nil when the flag
-// is unset (collection disabled, nil-safe handles make the hot paths
-// free), one shared registry otherwise. Call after flag parsing; every
-// call returns the same registry.
+// Registry returns the registry implied by the flags: nil when neither
+// -metrics nor -serve is set (collection disabled, nil-safe handles make
+// the hot paths free), one shared registry otherwise. Call after flag
+// parsing; every call returns the same registry.
 func (f *Flags) Registry() *metrics.Registry {
-	if f.Metrics == "" {
+	if f.Metrics == "" && f.Serve == "" {
 		return nil
 	}
 	if f.reg == nil {
@@ -55,17 +72,58 @@ func (f *Flags) Registry() *metrics.Registry {
 	return f.reg
 }
 
-// Start begins the CPU profile per the flags and returns a stop function
-// that finishes the profiles and writes the metrics export — call it
-// once, after the workload, on the success path (see Start's contract).
+// Timeline returns the LB-step timeline behind /api/lbsteps: nil when
+// -serve is unset (a nil timeline is the disabled state throughout the
+// codebase), one shared timeline otherwise.
+func (f *Flags) Timeline() *metrics.LBTimeline {
+	if f.Serve == "" {
+		return nil
+	}
+	if f.tl == nil {
+		f.tl = &metrics.LBTimeline{}
+	}
+	return f.tl
+}
+
+// Tracker returns the fleet-progress tracker behind /api/run: nil when
+// -serve is unset (every tracker method is nil-safe, so callers wire it
+// unconditionally), one shared tracker otherwise.
+func (f *Flags) Tracker() *telemetry.RunTracker {
+	if f.Serve == "" {
+		return nil
+	}
+	if f.tracker == nil {
+		f.tracker = telemetry.NewRunTracker()
+	}
+	return f.tracker
+}
+
+// Start begins the CPU profile and the telemetry server per the flags
+// and returns a stop function that drains the server, finishes the
+// profiles and writes the metrics export — call it once, after the
+// workload, on the success path (see Start's contract).
 func (f *Flags) Start() (stop func() error, err error) {
 	stopProfiles, err := Start(f.CPUProfile, f.MemProfile)
 	if err != nil {
 		return nil, err
 	}
+	if f.Serve != "" {
+		f.srv = telemetry.NewServer(f.Registry(), f.Timeline(), f.Tracker())
+		addr, err := f.srv.Start(f.Serve)
+		if err != nil {
+			_ = stopProfiles()
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: serving on http://%s/\n", addr)
+	}
 	return func() error {
 		if err := stopProfiles(); err != nil {
 			return err
+		}
+		if f.srv != nil {
+			if err := f.srv.Drain(f.ServeWait); err != nil {
+				return err
+			}
 		}
 		return f.writeMetrics()
 	}, nil
@@ -76,7 +134,7 @@ func (f *Flags) Start() (stop func() error, err error) {
 // misconfiguration visible instead of silent.
 func (f *Flags) writeMetrics() error {
 	reg := f.Registry()
-	if reg == nil {
+	if reg == nil || f.Metrics == "" {
 		return nil
 	}
 	if f.Metrics == "-" {

@@ -57,9 +57,14 @@ type Pool struct {
 	// <= 0 selects GOMAXPROCS.
 	Workers int
 	// Metrics, when non-nil, receives pool throughput series: scenarios
-	// completed, simulation events executed, per-scenario wall time, and
-	// queue wait (batch submission to execution start). Nil disables them.
+	// completed and in flight, simulation events executed, per-scenario
+	// wall time, and queue wait (batch submission to execution start).
+	// Nil disables them.
 	Metrics *metrics.Registry
+	// Progress, when non-nil, receives batch lifecycle notifications
+	// (telemetry's live /api/run view). Callbacks arrive from worker
+	// goroutines; implementations must be concurrency-safe.
+	Progress experiment.Progress
 
 	mu        sync.Mutex
 	wall      time.Duration
@@ -84,18 +89,32 @@ func (p *Pool) RunBatch(ctx context.Context, batch []experiment.Scenario) ([]exp
 			"Real seconds per scenario.", metrics.DefTimeBuckets())
 		mQueue = p.Metrics.Histogram("runner_queue_wait_seconds",
 			"Real seconds a scenario waited for a pool worker.", metrics.DefTimeBuckets())
+		mInflight = p.Metrics.Gauge("runner_scenarios_in_flight",
+			"Scenarios currently executing on pool workers.")
 	)
 	stats := &BatchStats{Scenarios: make([]ScenarioStats, len(batch))}
+	prog := p.Progress
+	if prog != nil {
+		prog.BatchQueued(len(batch))
+	}
 	start := time.Now()
 	results, err := Map(ctx, p.Workers, batch, func(_ context.Context, i int, s experiment.Scenario) (experiment.Result, error) {
 		t0 := time.Now()
 		mQueue.Observe(t0.Sub(start).Seconds())
+		if prog != nil {
+			prog.ScenarioStarted(i)
+		}
+		mInflight.Add(1)
 		r := experiment.Run(s)
+		mInflight.Add(-1)
 		wall := time.Since(t0)
 		stats.Scenarios[i] = ScenarioStats{Index: i, Wall: wall, Events: r.Events}
 		mScenarios.Inc()
 		mEvents.Add(r.Events)
 		mWall.Observe(wall.Seconds())
+		if prog != nil {
+			prog.ScenarioDone(i, wall, r.Events)
+		}
 		return r, nil
 	})
 	stats.Wall = time.Since(start)

@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// sseEvent is one marshaled server-sent event: a name and its JSON data
+// line, ready to write to a stream.
+type sseEvent struct {
+	name string
+	data []byte
+}
+
+// hub fans events out to SSE subscribers. Broadcasters marshal once;
+// each subscriber gets the bytes through a buffered channel. A
+// subscriber that falls more than sseBuffer events behind loses the
+// oldest updates (progress and LB-step events are snapshots/deltas the
+// dashboard re-polls anyway, so dropping beats blocking the simulation).
+type hub struct {
+	mu     sync.Mutex
+	subs   map[chan sseEvent]struct{}
+	closed chan struct{}
+	done   bool
+}
+
+const sseBuffer = 64
+
+func newHub() *hub {
+	return &hub{subs: make(map[chan sseEvent]struct{}), closed: make(chan struct{})}
+}
+
+// subscribe registers a new subscriber. The returned closed channel is
+// shared: it closes when the hub shuts down, ending every stream.
+func (h *hub) subscribe() (ch chan sseEvent, cancel func(), closed <-chan struct{}) {
+	ch = make(chan sseEvent, sseBuffer)
+	h.mu.Lock()
+	if !h.done {
+		h.subs[ch] = struct{}{}
+	}
+	h.mu.Unlock()
+	cancel = func() {
+		h.mu.Lock()
+		delete(h.subs, ch)
+		h.mu.Unlock()
+	}
+	return ch, cancel, h.closed
+}
+
+// broadcast marshals v and queues it on every subscriber, dropping the
+// event for subscribers whose buffers are full.
+func (h *hub) broadcast(name string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	ev := sseEvent{name: name, data: data}
+	h.mu.Lock()
+	for ch := range h.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+	h.mu.Unlock()
+}
+
+// close ends every subscriber's stream. Idempotent.
+func (h *hub) close() {
+	h.mu.Lock()
+	if !h.done {
+		h.done = true
+		close(h.closed)
+		h.subs = make(map[chan sseEvent]struct{})
+	}
+	h.mu.Unlock()
+}

@@ -1,0 +1,203 @@
+// Package telemetry embeds a dependency-free (stdlib net/http)
+// observability server into the cmd/ binaries, behind the shared
+// -serve flag of profiling.Flags.
+//
+// The paper diagnoses interference by watching per-core timelines while
+// the job runs (Charm++ Projections attaches to the live runtime); the
+// figure sweeps here run for minutes, and a production load-balancing
+// service exposes its state continuously. The server renders the live
+// metrics.Registry as a Prometheus scrape, streams run progress and
+// LB-step deltas over SSE, serves the standard pprof handlers, and hosts
+// a single self-contained HTML dashboard:
+//
+//	GET /              dashboard (no external assets)
+//	GET /metrics       Prometheus 0.0.4 text, gathered live
+//	GET /api/run       JSON fleet progress (RunState)
+//	GET /api/lbsteps   JSON LB-step timeline (?since=N for deltas)
+//	GET /events        SSE: progress, lbstep, done events
+//	GET /debug/pprof/  net/http/pprof
+//
+// Everything served is backed by atomics or mutex-guarded copies, so
+// scrapes never touch live scheduler state (see machine.PublishMetrics)
+// and run safely while the scenario fleet executes.
+package telemetry
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strconv"
+	"time"
+
+	"cloudlb/internal/metrics"
+)
+
+// Server is the embedded observability server. Construct with NewServer;
+// any of the three data sources may be nil (the matching endpoints serve
+// empty documents).
+type Server struct {
+	reg     *metrics.Registry
+	tl      *metrics.LBTimeline
+	tracker *RunTracker
+	hub     *hub
+	mux     *http.ServeMux
+	srv     *http.Server
+	ln      net.Listener
+}
+
+// lbStepEvent is the SSE payload for one appended LB step.
+type lbStepEvent struct {
+	Index int            `json:"index"`
+	Step  metrics.LBStep `json:"step"`
+}
+
+// NewServer wires the endpoints over the given registry, timeline and
+// tracker, and subscribes to both live sources: every tracker state
+// change and every timeline append is pushed to /events subscribers.
+func NewServer(reg *metrics.Registry, tl *metrics.LBTimeline, tracker *RunTracker) *Server {
+	s := &Server{reg: reg, tl: tl, tracker: tracker, hub: newHub(), mux: http.NewServeMux()}
+	tracker.setNotify(func() { s.hub.broadcast("progress", tracker.State()) })
+	tl.SetNotify(func(index int, step metrics.LBStep) {
+		s.hub.broadcast("lbstep", lbStepEvent{Index: index, Step: step})
+	})
+	s.mux.HandleFunc("GET /{$}", s.handleDashboard)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /api/run", s.handleRun)
+	s.mux.HandleFunc("GET /api/lbsteps", s.handleLBSteps)
+	s.mux.HandleFunc("GET /events", s.handleEvents)
+	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return s
+}
+
+// Handler exposes the routed endpoints (httptest hosts this directly).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr (":0" picks a free port) and serves in the
+// background. It returns the bound address for the caller to print.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("telemetry: %w", err)
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.mux}
+	go func() { _ = s.srv.Serve(ln) }()
+	return ln.Addr().String(), nil
+}
+
+// Drain completes the server's lifecycle without losing the final
+// scrape: it marks the run finished (pushing a last progress event and a
+// "done" event to SSE subscribers), keeps every endpoint up for wait so
+// scrapers and browsers can take a final reading, then ends the SSE
+// streams and shuts the listener down gracefully — requests already in
+// flight run to completion.
+func (s *Server) Drain(wait time.Duration) error {
+	s.tracker.Finish()
+	s.hub.broadcast("done", s.tracker.State())
+	if wait > 0 {
+		time.Sleep(wait)
+	}
+	s.hub.close()
+	if s.srv == nil {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.srv.Shutdown(ctx); err != nil {
+		return fmt.Errorf("telemetry: %w", err)
+	}
+	return nil
+}
+
+func (s *Server) handleDashboard(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	_, _ = io.WriteString(w, dashboardHTML)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, s.tracker.State())
+}
+
+func (s *Server) handleLBSteps(w http.ResponseWriter, r *http.Request) {
+	since := 0
+	if v := r.URL.Query().Get("since"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			http.Error(w, "bad since parameter", http.StatusBadRequest)
+			return
+		}
+		since = n
+	}
+	steps := s.tl.StepsSince(since)
+	if steps == nil {
+		steps = []metrics.LBStep{}
+	}
+	writeJSON(w, struct {
+		Since int              `json:"since"`
+		Total int              `json:"total"`
+		Steps []metrics.LBStep `json:"steps"`
+	}{Since: since, Total: s.tl.Len(), Steps: steps})
+}
+
+// handleEvents is the SSE stream: the current run state is delivered
+// immediately on connect (no waiting for the next change), then every
+// progress/lbstep/done broadcast until the client disconnects or the
+// server drains.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	ch, cancel, closed := s.hub.subscribe()
+	defer cancel()
+	if err := writeSSEJSON(w, "progress", s.tracker.State()); err != nil {
+		return
+	}
+	fl.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-closed:
+			return
+		case ev := <-ch:
+			if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.name, ev.data); err != nil {
+				return
+			}
+			fl.Flush()
+		}
+	}
+}
+
+func writeSSEJSON(w io.Writer, name string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", name, data)
+	return err
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

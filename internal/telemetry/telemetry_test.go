@@ -1,0 +1,317 @@
+package telemetry_test
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"cloudlb/internal/experiment"
+	"cloudlb/internal/metrics"
+	"cloudlb/internal/telemetry"
+)
+
+func newTestServer(t *testing.T) (*telemetry.Server, *metrics.Registry, *metrics.LBTimeline, *telemetry.RunTracker, *httptest.Server) {
+	t.Helper()
+	reg := metrics.NewRegistry()
+	tl := &metrics.LBTimeline{}
+	tracker := telemetry.NewRunTracker()
+	srv := telemetry.NewServer(reg, tl, tracker)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, reg, tl, tracker, ts
+}
+
+func get(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, reg, _, _, ts := newTestServer(t)
+	reg.Counter("sim_events_total", "Events executed.").Add(42)
+	code, body, hdr := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "text/plain; version=0.0.4; charset=utf-8" {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(body, "sim_events_total 42") {
+		t.Fatalf("series missing:\n%s", body)
+	}
+}
+
+func TestRunEndpoint(t *testing.T) {
+	_, _, _, tracker, ts := newTestServer(t)
+	tracker.BatchQueued(3)
+	tracker.ScenarioStarted(0)
+	tracker.ScenarioDone(0, 50*time.Millisecond, 1000)
+	code, body, hdr := get(t, ts.URL+"/api/run")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var st telemetry.RunState
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatalf("%v\n%s", err, body)
+	}
+	if st.ScenariosTotal != 3 || st.ScenariosDone != 1 || st.Events != 1000 {
+		t.Fatalf("state wrong: %+v", st)
+	}
+	if st.EtaSeconds <= 0 {
+		t.Fatalf("no ETA with 2 scenarios remaining: %+v", st)
+	}
+	if st.ScenarioWall.Count != 1 || st.ScenarioWall.P50 <= 0 {
+		t.Fatalf("wall histogram missing: %+v", st.ScenarioWall)
+	}
+}
+
+func TestLBStepsEndpoint(t *testing.T) {
+	_, _, tl, _, ts := newTestServer(t)
+	tl.Append(metrics.LBStep{Step: 1, Time: 1.5, MovesApplied: 2, PELoadAfter: []float64{1, 2}})
+	tl.Append(metrics.LBStep{Step: 2, Time: 3.0})
+	var doc struct {
+		Since int              `json:"since"`
+		Total int              `json:"total"`
+		Steps []metrics.LBStep `json:"steps"`
+	}
+	code, body, _ := get(t, ts.URL+"/api/lbsteps")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Total != 2 || len(doc.Steps) != 2 || doc.Steps[0].MovesApplied != 2 {
+		t.Fatalf("full read wrong: %+v", doc)
+	}
+	code, body, _ = get(t, ts.URL+"/api/lbsteps?since=1")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Since != 1 || len(doc.Steps) != 1 || doc.Steps[0].Step != 2 {
+		t.Fatalf("delta read wrong: %+v", doc)
+	}
+	if code, _, _ = get(t, ts.URL+"/api/lbsteps?since=x"); code != http.StatusBadRequest {
+		t.Fatalf("bad since: status %d, want 400", code)
+	}
+}
+
+func TestDashboardAndRouting(t *testing.T) {
+	_, _, _, _, ts := newTestServer(t)
+	code, body, hdr := get(t, ts.URL+"/")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	if !strings.Contains(hdr.Get("Content-Type"), "text/html") {
+		t.Fatalf("content type %q", hdr.Get("Content-Type"))
+	}
+	for _, want := range []string{"<!DOCTYPE html>", "/api/run", "/api/lbsteps", "EventSource"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("dashboard missing %q", want)
+		}
+	}
+	// Self-contained: no external asset loads.
+	for _, banned := range []string{"http://", "https://", "cdn."} {
+		if strings.Contains(body, banned) {
+			t.Fatalf("dashboard references external asset %q", banned)
+		}
+	}
+	if code, _, _ := get(t, ts.URL+"/nope"); code != http.StatusNotFound {
+		t.Fatalf("unknown path: status %d, want 404", code)
+	}
+}
+
+func TestPprofEndpoints(t *testing.T) {
+	_, _, _, _, ts := newTestServer(t)
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline"} {
+		if code, _, _ := get(t, ts.URL+path); code != http.StatusOK {
+			t.Fatalf("%s: status %d", path, code)
+		}
+	}
+}
+
+// readSSEEvent reads one "event:"/"data:" pair from an SSE stream.
+func readSSEEvent(t *testing.T, br *bufio.Reader) (name, data string) {
+	t.Helper()
+	for {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("stream ended: %v", err)
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case strings.HasPrefix(line, "event: "):
+			name = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		case line == "" && name != "":
+			return name, data
+		}
+	}
+}
+
+func TestSSEFirstEventAndBroadcast(t *testing.T) {
+	_, _, tl, tracker, ts := newTestServer(t)
+	tracker.BatchQueued(5)
+	resp, err := http.Get(ts.URL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	br := bufio.NewReader(resp.Body)
+
+	// First event arrives on connect, without waiting for a change.
+	name, data := readSSEEvent(t, br)
+	if name != "progress" {
+		t.Fatalf("first event %q, want progress", name)
+	}
+	var st telemetry.RunState
+	if err := json.Unmarshal([]byte(data), &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ScenariosTotal != 5 {
+		t.Fatalf("first event state wrong: %+v", st)
+	}
+
+	// A tracker change broadcasts a fresh progress event.
+	tracker.ScenarioStarted(0)
+	name, _ = readSSEEvent(t, br)
+	if name != "progress" {
+		t.Fatalf("event %q, want progress", name)
+	}
+
+	// A timeline append broadcasts an lbstep event with its index.
+	tl.Append(metrics.LBStep{Step: 1, Time: 2.5})
+	name, data = readSSEEvent(t, br)
+	if name != "lbstep" {
+		t.Fatalf("event %q, want lbstep", name)
+	}
+	var ev struct {
+		Index int            `json:"index"`
+		Step  metrics.LBStep `json:"step"`
+	}
+	if err := json.Unmarshal([]byte(data), &ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Index != 0 || ev.Step.Step != 1 {
+		t.Fatalf("lbstep event wrong: %+v", ev)
+	}
+}
+
+func TestSSEClientDisconnectAndDrain(t *testing.T) {
+	srv, _, _, _, ts := newTestServer(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/events", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	br := bufio.NewReader(resp.Body)
+	readSSEEvent(t, br) // stream is live
+	cancel()            // client walks away
+	resp.Body.Close()
+
+	// Drain must complete promptly even with the subscriber gone.
+	done := make(chan error, 1)
+	go func() { done <- srv.Drain(0) }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Drain hung after client disconnect")
+	}
+}
+
+func TestDrainEndsStream(t *testing.T) {
+	srv, _, _, tracker, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	br := bufio.NewReader(resp.Body)
+	readSSEEvent(t, br)
+	if err := srv.Drain(0); err != nil {
+		t.Fatal(err)
+	}
+	// The tracker was finished and the stream closed; reading to EOF must
+	// terminate (the "done" event may or may not have won the race with
+	// hub close, so just require termination).
+	if _, err := io.ReadAll(br); err != nil {
+		t.Fatal(err)
+	}
+	if !tracker.State().Finished {
+		t.Fatal("Drain did not finish the tracker")
+	}
+}
+
+// TestConcurrentScrape is the race gate: endpoints are scraped
+// continuously while a scenario fleet runs with the same registry,
+// timeline and tracker attached. Run with -race.
+func TestConcurrentScrape(t *testing.T) {
+	_, reg, tl, tracker, ts := newTestServer(t)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, path := range []string{"/metrics", "/api/run", "/api/lbsteps"} {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Get(ts.URL + path)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+	spec := experiment.Spec{App: experiment.Jacobi2D, Cores: []int{4}, Seeds: []int64{1, 2}, Scale: 0.1}
+	_, err := spec.Evaluate(context.Background(), experiment.Options{
+		Metrics: reg, LBTimeline: tl, Progress: tracker, Parallel: 2,
+	})
+	close(stop)
+	wg.Wait()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tracker.State().ScenariosDone == 0 {
+		t.Fatal("tracker saw no scenarios")
+	}
+}

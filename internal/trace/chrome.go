@@ -1,12 +1,16 @@
 package trace
 
 import (
+	"cmp"
 	"encoding/json"
 	"io"
+	"slices"
 )
 
 // chromeEvent is one entry of the Chrome trace-event format ("X" =
-// complete event), loadable in chrome://tracing and Perfetto.
+// complete event, "s"/"f" = flow start/finish), loadable in
+// chrome://tracing and Perfetto. The flow-only fields carry omitempty so
+// traces without migrations serialize exactly as before they existed.
 type chromeEvent struct {
 	Name     string            `json:"name"`
 	Category string            `json:"cat"`
@@ -16,15 +20,22 @@ type chromeEvent struct {
 	PID      int               `json:"pid"`
 	TID      int               `json:"tid"`
 	Args     map[string]string `json:"args,omitempty"`
+	// ID ties a flow's "s" event to its "f" event.
+	ID int `json:"id,omitempty"`
+	// BP "e" binds the flow arrival to the enclosing slice.
+	BP string `json:"bp,omitempty"`
 }
 
 // WriteChromeTrace exports the recorded segments as a Chrome trace-event
 // JSON array: each core becomes a thread row, task/background/LB segments
-// become complete events, and markers become instant events. The output
-// loads directly into chrome://tracing or ui.perfetto.dev.
+// become complete events, markers become instant events, and each chare
+// migration becomes a flow arrow from the chare's last segment on the old
+// core to its first segment on the new one. The output loads directly
+// into chrome://tracing or ui.perfetto.dev.
 func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	segs := r.Segments()
 	var events []chromeEvent
-	for _, s := range r.Segments() {
+	for _, s := range segs {
 		if s.Kind == KindMarker {
 			events = append(events, chromeEvent{
 				Name: s.Label, Category: "marker", Phase: "i",
@@ -43,6 +54,52 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 			Args:     map[string]string{"kind": s.Kind.String()},
 		})
 	}
+	events = append(events, flowEvents(segs)...)
 	enc := json.NewEncoder(w)
 	return enc.Encode(events)
+}
+
+// flowEvents renders chare migrations as flow-event pairs: for every pair
+// of chronologically consecutive task segments of the same chare on
+// different cores, a "s" (flow start) leaves the end of the old core's
+// segment and a "f" (flow finish, bp:"e" = bind to enclosing slice)
+// lands at the start of the new core's segment, sharing an id. Labels
+// are processed in sorted order and ids count up from 1, so output is
+// deterministic; a trace with no migrations yields no events at all.
+func flowEvents(segs []Segment) []chromeEvent {
+	byLabel := make(map[string][]Segment)
+	var labels []string
+	for _, s := range segs {
+		if s.Kind != KindTask {
+			continue
+		}
+		if _, ok := byLabel[s.Label]; !ok {
+			labels = append(labels, s.Label)
+		}
+		byLabel[s.Label] = append(byLabel[s.Label], s)
+	}
+	slices.Sort(labels)
+	var out []chromeEvent
+	id := 0
+	for _, label := range labels {
+		ss := byLabel[label]
+		slices.SortStableFunc(ss, func(a, b Segment) int { return cmp.Compare(a.Start, b.Start) })
+		for i := 1; i < len(ss); i++ {
+			a, b := ss[i-1], ss[i]
+			if a.Core == b.Core {
+				continue
+			}
+			id++
+			out = append(out,
+				chromeEvent{
+					Name: label, Category: "migration", Phase: "s",
+					TS: float64(a.End) * 1e6, PID: 0, TID: a.Core, ID: id,
+				},
+				chromeEvent{
+					Name: label, Category: "migration", Phase: "f", BP: "e",
+					TS: float64(b.Start) * 1e6, PID: 0, TID: b.Core, ID: id,
+				})
+		}
+	}
+	return out
 }

@@ -1,0 +1,89 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestChromeTraceFlowEvents checks that a chare migration produces a
+// matched s/f flow pair linking its segments across cores, and that
+// same-core consecutive segments produce none.
+func TestChromeTraceFlowEvents(t *testing.T) {
+	r := NewRecorder()
+	// w[1] runs on core 0, migrates, resumes on core 2: one flow.
+	r.Add(Segment{Core: 0, Start: 0, End: 1, Kind: KindTask, Label: "w[1]"})
+	r.Add(Segment{Core: 2, Start: 2, End: 3, Kind: KindTask, Label: "w[1]"})
+	// w[0] stays put: no flow.
+	r.Add(Segment{Core: 1, Start: 0, End: 1, Kind: KindTask, Label: "w[0]"})
+	r.Add(Segment{Core: 1, Start: 2, End: 3, Kind: KindTask, Label: "w[0]"})
+	// Background segments never flow, even across cores.
+	r.Add(Segment{Core: 0, Start: 4, End: 5, Kind: KindBackground, Label: "hog"})
+	r.Add(Segment{Core: 1, Start: 6, End: 7, Kind: KindBackground, Label: "hog"})
+
+	var sb strings.Builder
+	if err := r.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &events); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+
+	var flows []map[string]any
+	for _, e := range events {
+		if e["cat"] == "migration" {
+			flows = append(flows, e)
+		}
+	}
+	if len(flows) != 2 {
+		t.Fatalf("%d flow events, want 2 (one s/f pair):\n%s", len(flows), sb.String())
+	}
+	s, f := flows[0], flows[1]
+	if s["ph"] != "s" || f["ph"] != "f" {
+		t.Fatalf("phases wrong: %v %v", s["ph"], f["ph"])
+	}
+	if s["name"] != "w[1]" || f["name"] != "w[1]" {
+		t.Fatalf("flow names wrong: %v %v", s["name"], f["name"])
+	}
+	if s["id"] != f["id"] || s["id"].(float64) == 0 {
+		t.Fatalf("flow ids don't match: %v %v", s["id"], f["id"])
+	}
+	if f["bp"] != "e" {
+		t.Fatalf("flow finish missing bp=e: %v", f)
+	}
+	// Departure from the old core's segment end, arrival at the new one's
+	// start.
+	if s["tid"].(float64) != 0 || s["ts"].(float64) != 1e6 {
+		t.Fatalf("flow start wrong: %v", s)
+	}
+	if f["tid"].(float64) != 2 || f["ts"].(float64) != 2e6 {
+		t.Fatalf("flow finish wrong: %v", f)
+	}
+}
+
+// TestChromeTraceNoMigrationByteStable pins the no-migration output: the
+// flow-only fields must not appear at all, so existing committed traces
+// regenerate byte-identically.
+func TestChromeTraceNoMigrationByteStable(t *testing.T) {
+	r := NewRecorder()
+	r.Add(Segment{Core: 1, Start: 0.5, End: 1.5, Kind: KindTask, Label: "w[3]"})
+	r.Add(Segment{Core: 0, Start: 2, End: 2.5, Kind: KindBackground, Label: "hog"})
+	r.Mark(1, 3, "bg starts")
+	var sb strings.Builder
+	if err := r.WriteChromeTrace(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, field := range []string{`"id"`, `"bp"`} {
+		if strings.Contains(out, field) {
+			t.Fatalf("no-migration trace leaks flow field %s:\n%s", field, out)
+		}
+	}
+	want := `[{"name":"hog","cat":"background","ph":"X","ts":2000000,"dur":500000,"pid":0,"tid":0,"args":{"kind":"background"}},` +
+		`{"name":"w[3]","cat":"task","ph":"X","ts":500000,"dur":1000000,"pid":0,"tid":1,"args":{"kind":"task"}},` +
+		`{"name":"bg starts","cat":"marker","ph":"i","ts":3000000,"dur":0,"pid":0,"tid":1}]` + "\n"
+	if out != want {
+		t.Fatalf("no-migration trace changed:\n got: %s\nwant: %s", out, want)
+	}
+}
