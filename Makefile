@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint race check bench benchjson verify-results figures metrics-smoke serve-smoke
+.PHONY: build test vet lint race check bench benchjson determinism verify-results figures metrics-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -39,7 +39,7 @@ lint: vet
 race:
 	$(GO) test -race ./...
 
-check: build lint test race bench serve-smoke
+check: build lint test race bench serve-smoke determinism
 
 # Benchmark smoke: every benchmark runs exactly one iteration. Catches
 # bench bodies that rot (they only compile under -bench) without paying
@@ -50,6 +50,17 @@ bench:
 # Refresh the committed benchmark record (ns/op, allocs/op, events/sec).
 benchjson:
 	$(GO) run ./cmd/figures -benchjson BENCH_results.json
+
+# Sharded-scheduler determinism gate, named so `make check` runs it even
+# when the cached `race` target is skipped: the same scenario at shards
+# {1,2,4,8} x GOMAXPROCS {1,4} under the race detector must produce an
+# identical Result, metric snapshot and trace hash, and the classic
+# -shards 1 path must stay allocation-free in steady state. The alloc
+# gate runs without -race (instrumentation perturbs allocation counts);
+# -count=1 defeats the test cache so the gates always execute.
+determinism:
+	$(GO) test -race -count=1 -run 'TestShardedDeterminism|TestShardsAutoResolve' ./internal/experiment
+	$(GO) test -count=1 -run TestClassicScenarioSteadyStateAllocFree ./internal/experiment
 
 # Metrics smoke: one small Wave2D scenario with the Prometheus export on
 # stderr, asserting the acceptance-critical series are present and
@@ -107,17 +118,23 @@ figures:
 		-csv results -parallel 0 > results/fig5.txt
 
 # Regenerate the full results/ tree into a temp dir and diff it against
-# the committed files. The committed figures are a byte-exact oracle for
-# the simulation's determinism; any divergence is a regression, not noise.
-# The "wrote <path>" status lines in the .txt logs embed the output
-# directory, so the temp path is rewritten to "results" before diffing.
+# the committed files, twice: once on the classic single engine and once
+# with the sharded scheduler (-shards 8, one shard per testbed node).
+# The committed figures are a byte-exact oracle for the simulation's
+# determinism; any divergence — including between shard counts — is a
+# regression, not noise. The "wrote <path>" status lines in the .txt
+# logs embed the output directory, so the temp path is rewritten to
+# "results" before diffing.
 verify-results:
-	@tmp=$$(mktemp -d) || exit 1; \
-	trap 'rm -rf "$$tmp"' EXIT; \
-	$(GO) run ./cmd/figures -fig all -cores 4,8,16,32 -seeds 3 -scale 1.0 \
-		-csv "$$tmp" -plots "$$tmp" -parallel 0 > "$$tmp/figures_full.txt" && \
-	$(GO) run ./cmd/figures -fig 5 -seeds 3 -scale 1.0 \
-		-csv "$$tmp" -parallel 0 > "$$tmp/fig5.txt" && \
-	sed -i "s|$$tmp|results|g" "$$tmp/figures_full.txt" "$$tmp/fig5.txt" && \
-	diff -r --exclude=README.md results "$$tmp" && \
-	echo "results/ reproduced byte-identical"
+	@for shards in 1 8; do \
+		tmp=$$(mktemp -d) || exit 1; \
+		$(GO) run ./cmd/figures -fig all -cores 4,8,16,32 -seeds 3 -scale 1.0 \
+			-shards $$shards -csv "$$tmp" -plots "$$tmp" -parallel 0 > "$$tmp/figures_full.txt" && \
+		$(GO) run ./cmd/figures -fig 5 -seeds 3 -scale 1.0 \
+			-shards $$shards -csv "$$tmp" -parallel 0 > "$$tmp/fig5.txt" && \
+		sed -i "s|$$tmp|results|g" "$$tmp/figures_full.txt" "$$tmp/fig5.txt" && \
+		diff -r --exclude=README.md results "$$tmp" && \
+		echo "results/ reproduced byte-identical at -shards $$shards" || \
+		{ rm -rf "$$tmp"; exit 1; }; \
+		rm -rf "$$tmp"; \
+	done

@@ -9,6 +9,7 @@ package cloudlb
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"cloudlb/internal/core"
@@ -221,6 +222,24 @@ func BenchmarkExtensionCloudChurn(b *testing.B) {
 	b.ReportMetric(no, "noLB_wall_s")
 	b.ReportMetric(lbw, "LB_wall_s")
 	b.ReportMetric(float64(migs), "migrations")
+}
+
+// BenchmarkShardedScheduler times the conservative sharded scheduler
+// against the classic single engine on the heaviest scenario of the
+// evaluation (Mol3D, full 32-core testbed, interfered, RefineLB). The
+// shards=1 case is the classic engine; shards=8 runs one shard per node.
+// Their results are byte-identical — the difference is wall clock, and
+// on a multi-core host with GOMAXPROCS >= 8 the sharded run should win.
+func BenchmarkShardedScheduler(b *testing.B) {
+	for _, shards := range []int{1, 8} {
+		nb := experiment.ShardedBench(shards)
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				nb.Run()
+			}
+		})
+	}
 }
 
 // BenchmarkAblationMigrationCost (DESIGN.md A3, the paper's future-work

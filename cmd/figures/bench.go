@@ -23,11 +23,15 @@ import (
 // scheduled event) for an in-place before/after comparison.
 
 type benchEntry struct {
-	Name         string  `json:"name"`
-	Iterations   int     `json:"iterations"`
-	NsPerOp      float64 `json:"ns_per_op"`
-	AllocsPerOp  int64   `json:"allocs_per_op"`
-	BytesPerOp   int64   `json:"bytes_per_op"`
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// GoMaxProcs records the parallelism this entry ran at. The sharded
+	// scheduler entries pin it to measure overhead (1) and speedup (>1)
+	// separately; every other entry inherits the process-wide value.
+	GoMaxProcs   int     `json:"go_max_procs"`
 	EventsPerSec float64 `json:"events_per_sec,omitempty"`
 }
 
@@ -108,6 +112,7 @@ func entry(name string, r testing.BenchmarkResult) benchEntry {
 		NsPerOp:     float64(r.NsPerOp()),
 		AllocsPerOp: r.AllocsPerOp(),
 		BytesPerOp:  r.AllocedBytesPerOp(),
+		GoMaxProcs:  runtime.GOMAXPROCS(0),
 	}
 }
 
@@ -170,6 +175,34 @@ func runBenchJSON(path string, workers int) error {
 					run()
 				}
 			})))
+	}
+
+	// The sharded-scheduler benches: the same heavyweight scenario at
+	// shard counts {1, 8}, the 8-shard one at GOMAXPROCS 1 (pure window
+	// overhead, no parallel hardware) and again at GOMAXPROCS >= 8 (the
+	// wall-clock speedup the shards exist for). The host's real core
+	// count bounds what the latter can show; go_max_procs records what
+	// each entry actually ran at.
+	report.Benchmarks = append(report.Benchmarks,
+		entry("Fig2Mol3DCellShards1", testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			nb := experiment.ShardedBench(1)
+			for i := 0; i < b.N; i++ {
+				nb.Run()
+			}
+		})))
+	for _, procs := range []int{1, 8} {
+		prev := runtime.GOMAXPROCS(procs)
+		e := entry(fmt.Sprintf("Fig2Mol3DCellShards8P%d", procs), testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			nb := experiment.ShardedBench(8)
+			for i := 0; i < b.N; i++ {
+				nb.Run()
+			}
+		}))
+		runtime.GOMAXPROCS(prev)
+		e.GoMaxProcs = procs
+		report.Benchmarks = append(report.Benchmarks, e)
 	}
 
 	data, err := json.MarshalIndent(report, "", "  ")

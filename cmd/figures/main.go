@@ -85,6 +85,7 @@ func main() {
 	plotDir := flag.String("plots", "", "also write per-panel SVG bar charts (figures 2 and 4) into this directory")
 	width := flag.Int("width", 100, "ASCII timeline width")
 	parallel := flag.Int("parallel", 0, "concurrent scenario workers (0 = GOMAXPROCS); any value produces identical output")
+	shardsFlag := flag.String("shards", "1", "event-scheduler shards per scenario: 1 = classic single engine, N = parallel node shards, auto = one per node up to GOMAXPROCS; any value produces identical output")
 	benchJSON := flag.String("benchjson", "", "run the engine and figure benchmarks, write JSON results to this path, and exit")
 	prof := profiling.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -112,6 +113,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(2)
 	}
+	shards, err := experiment.ParseShards(*shardsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(2)
+	}
 	seeds := make([]int64, *seedN)
 	for i := range seeds {
 		seeds[i] = int64(i + 1)
@@ -127,7 +133,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	pool := &runner.Pool{Workers: *parallel, Metrics: prof.Registry(), Progress: prof.Tracker()}
-	opts := experiment.Options{Executor: pool.Executor(), Metrics: prof.Registry(), LBTimeline: prof.Timeline()}
+	opts := experiment.Options{Executor: pool.Executor(), Metrics: prof.Registry(), LBTimeline: prof.Timeline(), Shards: shards}
 	start := time.Now()
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "figures:", err)

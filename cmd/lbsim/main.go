@@ -85,6 +85,7 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "iteration-count scale factor")
 	chromePath := flag.String("chrome", "", "write a Chrome trace-event JSON of the run to this path (single run only)")
 	hier := flag.Bool("hier", false, "use the hierarchical (tree) LB gather instead of the flat gather")
+	shards := flag.String("shards", "1", "event-scheduler shards per run: 1 = classic single engine, N = parallel node shards, auto = one per node up to GOMAXPROCS (results are identical at any value)")
 	preempt := flag.String("preempt", "", "core revocation schedule, comma-separated pe:at:warning:restore:core entries (restore 0 = never, core -1 = original core)")
 	prof := profiling.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -127,6 +128,12 @@ func main() {
 		os.Exit(2)
 	}
 
+	nShards, err := experiment.ParseShards(*shards)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbsim:", err)
+		os.Exit(2)
+	}
+
 	faults, err := parsePreempt(*preempt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lbsim:", err)
@@ -151,6 +158,7 @@ func main() {
 		Scale:        *scale,
 		Hierarchical: *hier,
 		Faults:       faults,
+		Shards:       nShards,
 	}
 	switch {
 	case *bg && *churn:

@@ -166,8 +166,16 @@ type Config struct {
 
 // RTS is a runtime instance.
 type RTS struct {
-	cfg  Config
-	eng  *sim.Engine
+	cfg Config
+	eng *sim.Engine
+	// sh is the sharded scheduler driving the machine, nil in the classic
+	// single-engine configuration. When non-nil, every PE's events run on
+	// its core's shard engine, and the runtime splits its hot-path mutable
+	// state (message pools, in-flight counters, Done marks) per shard so
+	// parallel windows never contend; the AtSync/LB protocol and quiescence
+	// detection raise sequential demand, so their cross-shard handlers only
+	// ever run merged on the coordinator.
+	sh   *sim.Shards
 	pes  []*pe
 	name string
 
@@ -193,8 +201,15 @@ type RTS struct {
 
 	lb lbState
 
-	// Quiescence detection state.
-	netInflight int
+	// Quiescence detection state. netInflight counts in-flight runtime
+	// messages in one slot per shard (a single slot when unsharded): the
+	// send side increments the source shard's slot and the delivery side
+	// decrements the destination's, so each slot is only ever touched by
+	// code executing on its own shard and a slot can go transiently
+	// negative — only the sum is meaningful, and it is only read in
+	// sequential context (StartQD pins the run merged until its waiters
+	// fire).
+	netInflight []inflightCount
 	qdWaiters   []func()
 
 	// Counters exposed for experiments.
@@ -207,10 +222,19 @@ type RTS struct {
 	pendingElastic []func()
 	evacuations    int
 
-	// msgFree recycles application message envelopes (see appMsg): each
-	// envelope carries its delivery closure with it, so the steady-state
-	// send path schedules network and engine events without allocating.
-	msgFree []*appMsg
+	// msgFree recycles application message envelopes (see appMsg), one
+	// pool per shard (a single pool when unsharded): each envelope carries
+	// its delivery closure with it, so the steady-state send path schedules
+	// network and engine events without allocating. Envelopes are taken
+	// from the sending shard's pool and released into the delivering
+	// shard's, keeping every pool single-writer within a window.
+	msgFree []msgPool
+
+	// shardDone is the per-shard Done accounting under a sharded scheduler
+	// (nil otherwise): chares mark completion shard-locally mid-window and
+	// the coordinator's barrier hook consolidates the marks into
+	// doneChares/done, firing onDone with the exact virtual finish time.
+	shardDone []shardDoneState
 
 	// outsScratch/insScratch are the per-PE migration-order buffers
 	// planMoves fills each LB step, reused across steps.
@@ -229,6 +253,28 @@ type RTS struct {
 type arrayMeta struct {
 	name string
 	size int
+}
+
+// inflightCount is one shard's in-flight message counter. The pad keeps
+// adjacent shards' slots off each other's cache lines: both the send and
+// the delivery path touch a slot for every application message.
+type inflightCount struct {
+	n int
+	_ [56]byte
+}
+
+// msgPool is one shard's free list of message envelopes, padded like
+// inflightCount — newAppMsg and deliver hit it once per message.
+type msgPool struct {
+	free []*appMsg
+	_    [40]byte
+}
+
+// shardDoneState holds one shard's not-yet-consolidated Done marks.
+type shardDoneState struct {
+	local  map[ChareID]bool
+	count  int
+	lastAt sim.Time
 }
 
 // NewRTS validates the configuration and builds the PEs.
@@ -260,6 +306,7 @@ func NewRTS(cfg Config) *RTS {
 	r := &RTS{
 		cfg:        cfg,
 		eng:        cfg.Machine.Engine(),
+		sh:         cfg.Machine.Shards(),
 		name:       cfg.Name,
 		arrays:     make(map[string]*arrayMeta),
 		location:   make(map[ChareID]int),
@@ -267,6 +314,19 @@ func NewRTS(cfg Config) *RTS {
 	}
 	for i, c := range cfg.Cores {
 		r.pes = append(r.pes, newPE(r, i, cfg.Machine.Core(c)))
+	}
+	shards := 1
+	if r.sh != nil {
+		shards = r.sh.NumShards()
+	}
+	r.msgFree = make([]msgPool, shards)
+	r.netInflight = make([]inflightCount, shards)
+	if r.sh != nil {
+		r.shardDone = make([]shardDoneState, shards)
+		for i := range r.shardDone {
+			r.shardDone[i].local = make(map[ChareID]bool)
+		}
+		r.sh.OnBarrier(r.consolidate)
 	}
 	r.outsScratch = make([][]core.Move, len(r.pes))
 	r.insScratch = make([]int, len(r.pes))
@@ -335,12 +395,69 @@ func (r *RTS) Start() {
 		panic("charm: already started")
 	}
 	r.started = true
+	r.primeMemos()
 	for _, p := range r.pes {
 		p.beginInterval()
 		for _, id := range p.roster {
 			p.enqueueApp(id, Start{})
 		}
 		p.pump()
+	}
+}
+
+// primeMemos eagerly computes every reduction-tree memo — child lists,
+// per-array subtree element counts, subtree chare totals — so the
+// parallel-window paths (reduction folds, hierarchical activation) only
+// ever read them; a lazy fill from a shard worker would race with sibling
+// shards recursing through the same entries. Called from coordinator
+// context whenever placements may have changed and parallel windows are
+// about to resume: at Start and when the last sequential-demand holder
+// (LB resume, quiescence waiter) releases. No-op when unsharded — the
+// lazy fills are safe single-threaded.
+func (r *RTS) primeMemos() {
+	if r.sh == nil {
+		return
+	}
+	for _, p := range r.pes {
+		r.treeChildren(p.index)
+		for name := range r.arrays {
+			p.subtreeExpected(name)
+		}
+		p.subtreeChareTotal()
+	}
+}
+
+// consolidate runs on the shard coordinator at every window barrier,
+// merging each shard's Done marks into the global table. The finish time
+// is exact despite the deferred bookkeeping: Done timestamps only grow
+// within and across barriers, so the maximum over the final batch is the
+// virtual time of the very last Done call — the same instant the
+// single-engine path records synchronously.
+func (r *RTS) consolidate() {
+	var last sim.Time
+	pending := false
+	for i := range r.shardDone {
+		sd := &r.shardDone[i]
+		if sd.count == 0 {
+			continue
+		}
+		pending = true
+		for id := range sd.local {
+			r.doneChares[id] = true
+		}
+		clear(sd.local)
+		r.done += sd.count
+		sd.count = 0
+		if sd.lastAt > last {
+			last = sd.lastAt
+		}
+	}
+	if pending && r.done >= r.total && !r.finished {
+		r.finished = true
+		r.finishAt = last
+		if r.onDone != nil {
+			r.onDone()
+		}
 	}
 }
 
@@ -385,7 +502,16 @@ func (r *RTS) LBWallTime() sim.Time {
 	return r.lbWall / sim.Time(len(r.pes))
 }
 
-func (r *RTS) chareDone(id ChareID) {
+func (r *RTS) chareDone(p *pe, id ChareID) {
+	if r.shardDone != nil {
+		// Sharded: record locally and let the barrier hook consolidate.
+		// Writing the global table from a window would race other shards.
+		sd := &r.shardDone[p.shard]
+		sd.local[id] = true
+		sd.count++
+		sd.lastAt = p.eng.Now()
+		return
+	}
 	r.doneChares[id] = true
 	r.done++
 	if r.done == r.total && !r.finished {
@@ -395,6 +521,18 @@ func (r *RTS) chareDone(id ChareID) {
 			r.onDone()
 		}
 	}
+}
+
+// isDone reports whether a chare has called Done, combining the
+// consolidated marks with the asking PE's own shard-local ones. PEs only
+// ever ask about chares they host, and a hosted chare's Done ran either
+// before the last barrier (consolidated) or on this same shard, so the
+// answer never depends on another shard's in-window state.
+func (r *RTS) isDone(p *pe, id ChareID) bool {
+	if r.doneChares[id] {
+		return true
+	}
+	return r.shardDone != nil && r.shardDone[p.shard].local[id]
 }
 
 // appMsg is a pooled application message envelope. Each envelope owns a
@@ -411,11 +549,12 @@ type appMsg struct {
 	fn    func()
 }
 
-func (r *RTS) newAppMsg() *appMsg {
-	if n := len(r.msgFree); n > 0 {
-		m := r.msgFree[n-1]
-		r.msgFree[n-1] = nil
-		r.msgFree = r.msgFree[:n-1]
+func (r *RTS) newAppMsg(shard int) *appMsg {
+	pool := &r.msgFree[shard].free
+	if n := len(*pool); n > 0 {
+		m := (*pool)[n-1]
+		(*pool)[n-1] = nil
+		*pool = (*pool)[:n-1]
 		r.met.msgsPooled.Inc()
 		return m
 	}
@@ -424,15 +563,18 @@ func (r *RTS) newAppMsg() *appMsg {
 	return m
 }
 
-// deliver fires at the message's network arrival instant. The envelope is
-// released before the payload is processed, so deliveries that trigger
-// further sends (pump running an entry) can immediately reuse it.
+// deliver fires at the message's network arrival instant, in the
+// destination shard's execution context. The envelope is released (into
+// that shard's pool) before the payload is processed, so deliveries that
+// trigger further sends (pump running an entry) can immediately reuse it.
 func (m *appMsg) deliver() {
 	r := m.rts
-	r.netInflight--
 	to, data, bytes, dstPE := m.to, m.data, m.bytes, m.dstPE
+	dst := r.pes[dstPE]
+	r.netInflight[dst.shard].n--
 	m.data = nil
-	r.msgFree = append(r.msgFree, m)
+	pool := &r.msgFree[dst.shard].free
+	*pool = append(*pool, m)
 	// Re-check location at delivery: the chare may have migrated
 	// while the message was in flight (only possible for messages
 	// crossing an LB step); forward if so, as Charm++ does.
@@ -440,25 +582,26 @@ func (m *appMsg) deliver() {
 		r.send(dstPE, to, data, bytes)
 		return
 	}
-	p := r.pes[dstPE]
-	p.enqueueApp(to, data)
-	p.pump()
+	dst.enqueueApp(to, data)
+	dst.pump()
 }
 
 // send routes a message between chares, via the interconnect when the
 // destination lives on another PE, or via the intra-node path for local
 // delivery (a real RTS enqueues locally; the intra-node latency stands in
-// for that queueing cost).
+// for that queueing cost). It runs in the sending PE's shard context and
+// touches only that shard's pool and in-flight slot.
 func (r *RTS) send(fromPE int, to ChareID, data interface{}, bytes int) {
 	dstPE, ok := r.location[to]
 	if !ok {
 		panic(fmt.Sprintf("charm: send to unknown chare %v", to))
 	}
-	m := r.newAppMsg()
+	src := r.pes[fromPE]
+	m := r.newAppMsg(src.shard)
 	m.to, m.data, m.bytes, m.dstPE = to, data, bytes, dstPE
 	r.met.msgsSent.Inc()
 	// In-flight accounting as in netSend, folded into the envelope so
 	// quiescence detection still sees every application message.
-	r.netInflight++
-	r.cfg.Net.Send(r.pes[fromPE].core.ID, r.pes[dstPE].core.ID, bytes, m.fn)
+	r.netInflight[src.shard].n++
+	r.cfg.Net.Send(src.core.ID, r.pes[dstPE].core.ID, bytes, m.fn)
 }

@@ -25,8 +25,9 @@ type outMsg struct {
 	bytes int
 }
 
-// Now returns the current virtual time.
-func (c *Ctx) Now() sim.Time { return c.rts.eng.Now() }
+// Now returns the current virtual time (as seen by the executing PE's
+// shard engine — the only clock guaranteed exact mid-window).
+func (c *Ctx) Now() sim.Time { return c.pe.eng.Now() }
 
 // Self returns the executing chare's ID.
 func (c *Ctx) Self() ChareID { return c.self }

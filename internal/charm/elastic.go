@@ -53,6 +53,14 @@ func (r *RTS) RevokePE(peIdx int, warning sim.Duration) {
 	if warning < 0 {
 		panic("charm: negative revocation warning")
 	}
+	// Evacuation reaches across every shard (it ships objects to arbitrary
+	// live PEs outside any synchronized protocol), so elasticity pins a
+	// sharded run to merged-sequential execution for good. The scenario
+	// layer already forces this for fault scenarios; this is the backstop
+	// for direct API users.
+	if r.sh != nil {
+		r.sh.ForceSequential()
+	}
 	p := r.pes[peIdx]
 	if p.retired {
 		panic(fmt.Sprintf("charm: PE %d already revoked", peIdx))
@@ -89,6 +97,9 @@ func (r *RTS) RestorePE(peIdx int, newCoreID int) {
 	if peIdx < 0 || peIdx >= len(r.pes) {
 		panic(fmt.Sprintf("charm: restoring invalid PE %d", peIdx))
 	}
+	if r.sh != nil {
+		r.sh.ForceSequential()
+	}
 	p := r.pes[peIdx]
 	if !p.retired {
 		panic(fmt.Sprintf("charm: PE %d is not revoked", peIdx))
@@ -111,6 +122,10 @@ func (r *RTS) RestorePE(peIdx int, newCoreID int) {
 		}
 		p.thread.Migrate(c)
 		p.core = c
+		// The replacement core may live on a different shard; re-pin. Safe
+		// because elasticity forces merged-sequential execution.
+		p.eng = r.cfg.Machine.EngineFor(c.ID)
+		p.shard = r.cfg.Machine.ShardOf(c.ID)
 	} else if p.wentOffline {
 		old.SetOnline()
 	}

@@ -81,8 +81,7 @@ func (p *pe) subtreeChareTotal() int {
 
 // hierOnLocalSynced runs when all local chares of this PE called AtSync.
 func (p *pe) hierOnLocalSynced() {
-	p.inSync = true
-	p.syncAt = p.rts.eng.Now()
+	p.markInSync()
 	p.hierActivate()
 	if !p.hier.ownMeasured {
 		p.hier.ownMeasured = true
@@ -113,8 +112,7 @@ func (p *pe) hierOnProbe() {
 	if p.inSync {
 		return
 	}
-	p.inSync = true
-	p.syncAt = p.rts.eng.Now()
+	p.markInSync()
 	p.hierActivate()
 	p.hier.ownMeasured = true
 	p.hier.reports = append(p.hier.reports, p.measureStats())
@@ -133,8 +131,7 @@ func (p *pe) hierOnChildStats(child int, reports []peStats) {
 	// epoch exists; one with chares waits for its local sync.
 	if !p.hier.ownMeasured && len(p.local) == 0 {
 		if !p.inSync {
-			p.inSync = true
-			p.syncAt = p.rts.eng.Now()
+			p.markInSync()
 		}
 		p.hier.ownMeasured = true
 		p.hier.reports = append(p.hier.reports, p.measureStats())
@@ -190,7 +187,7 @@ func (r *RTS) hierPlan(reports []peStats) {
 			earliest = p.intervalAt
 		}
 	}
-	outs, ins, _ := r.planMoves(&stats, r.eng.Now()-earliest)
+	outs, ins, _ := r.planMoves(&stats, r.pes[0].eng.Now()-earliest)
 
 	root := r.pes[0]
 	orders := make([]hierOrder, 0, len(r.pes))

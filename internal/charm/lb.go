@@ -101,15 +101,14 @@ func (p *pe) maybeEnterSync(self ChareID) {
 }
 
 func (p *pe) enterSync() {
-	p.inSync = true
-	p.syncAt = p.rts.eng.Now()
+	p.markInSync()
 	p.sendStats()
 }
 
 // measureStats snapshots this PE's load database and background load
 // (paper Eq. 2) for the interval since the last resume.
 func (p *pe) measureStats() peStats {
-	now := p.rts.eng.Now()
+	now := p.eng.Now()
 	tlb := float64(now - p.intervalAt)
 	_, idleNow := p.core.ProcStat()
 	idleDelta := float64(idleNow - p.idleAtLB)
@@ -163,7 +162,11 @@ func (r *RTS) masterStats(st peStats) {
 		lb.statsCount = 0
 		lb.probed = false
 		lb.doneCount = 0
-		lb.startAt = r.eng.Now()
+		// Master-side handlers always run with the master PE's clock at the
+		// event time (sequential demand was raised before any stats message
+		// could be sent), so its engine is the one to read — r.eng can be a
+		// different, ragged shard when the runtime does not own core 0.
+		lb.startAt = r.pes[0].eng.Now()
 	}
 	lb.stats.Tasks = append(lb.stats.Tasks, st.tasks...)
 	lb.stats.Cores = append(lb.stats.Cores, core.CoreSample{PE: st.pe, Background: st.bg, Speed: st.speed, Offline: st.offline})
@@ -187,7 +190,7 @@ func (r *RTS) masterStats(st peStats) {
 // Done) and how many of those have synced.
 func (p *pe) activeSync() (active, syncedActive int) {
 	for id := range p.local {
-		if p.rts.doneChares[id] {
+		if p.rts.isDone(p, id) {
 			continue
 		}
 		active++
@@ -240,7 +243,7 @@ func (r *RTS) planMoves(stats *core.Stats, wallSince sim.Time) (outs [][]core.Mo
 
 	// instr is nil unless metrics or an LB timeline are attached; all its
 	// methods are nil-safe, so the uninstrumented path stays unchanged.
-	instr := r.met.beginStep(r.lbSteps+1, r.eng.Now(), wallSince, stats)
+	instr := r.met.beginStep(r.lbSteps+1, r.pes[0].eng.Now(), wallSince, stats)
 	instr.planStart()
 	moves = r.cfg.Strategy.Plan(*stats)
 	instr.planDone(moves)
@@ -280,7 +283,7 @@ func (r *RTS) planMoves(stats *core.Stats, wallSince sim.Time) (outs [][]core.Mo
 // masterPlan runs the strategy and fans out migration orders (flat mode).
 func (r *RTS) masterPlan() {
 	lb := &r.lb
-	outs, ins, moves := r.planMoves(&lb.stats, r.eng.Now()-lb.startAt)
+	outs, ins, moves := r.planMoves(&lb.stats, r.pes[0].eng.Now()-lb.startAt)
 	lb.moves = moves
 
 	master := r.pes[0]
@@ -384,7 +387,7 @@ func (r *RTS) masterSyncDone() {
 
 // onResume closes the LB step on this PE and restarts its chares.
 func (p *pe) onResume() {
-	now := p.rts.eng.Now()
+	now := p.eng.Now()
 	p.rts.lbWall += now - p.syncAt
 	if rec := p.rts.cfg.Trace; rec != nil {
 		rec.Add(trace.Segment{

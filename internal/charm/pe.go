@@ -14,9 +14,15 @@ import (
 // queue, the chares living there, and the load database for the interval
 // since the last LB step.
 type pe struct {
-	rts    *RTS
-	index  int
-	core   *machine.Core
+	rts   *RTS
+	index int
+	core  *machine.Core
+	// eng owns this PE's events — the core's shard engine under a sharded
+	// scheduler, the single machine engine otherwise. Every time read on a
+	// PE execution path goes through it; reading another shard's clock
+	// mid-window would return a ragged time.
+	eng    *sim.Engine
+	shard  int
 	thread *machine.Thread
 
 	local map[ChareID]Chare
@@ -89,6 +95,8 @@ func newPE(r *RTS, index int, c *machine.Core) *pe {
 		rts:      r,
 		index:    index,
 		core:     c,
+		eng:      r.cfg.Machine.EngineFor(c.ID),
+		shard:    r.cfg.Machine.ShardOf(c.ID),
 		local:    make(map[ChareID]Chare),
 		taskWall: make(map[ChareID]float64),
 		synced:   make(map[ChareID]bool),
@@ -131,16 +139,48 @@ func (p *pe) uninstall(id ChareID) Chare {
 // without touching in-flight LB protocol flags.
 func (p *pe) resetLoadDB() {
 	clear(p.taskWall)
-	p.intervalAt = p.rts.eng.Now()
+	p.intervalAt = p.eng.Now()
 	_, idle := p.core.ProcStat()
 	p.idleAtLB = idle
+}
+
+// markInSync flips this PE into the synchronized state. Under a sharded
+// scheduler it also raises one unit of sequential demand: from the next
+// event on this shard (and the next barrier globally) until the matching
+// resume, the coordinator executes everything in global timestamp order,
+// because the LB step's master-side handlers read state on every shard.
+func (p *pe) markInSync() {
+	p.inSync = true
+	p.syncAt = p.eng.Now()
+	if sh := p.rts.sh; sh != nil {
+		sh.RequireSequential()
+	}
+}
+
+// exitSync leaves the synchronized state, releasing the demand markInSync
+// raised. When the last holder releases (no LB step or quiescence wait
+// outstanding anywhere), placements are final again and the reduction
+// memos are re-primed before parallel windows resume.
+func (p *pe) exitSync() {
+	if !p.inSync {
+		return
+	}
+	p.inSync = false
+	sh := p.rts.sh
+	if sh == nil {
+		return
+	}
+	sh.ReleaseSequential()
+	if !sh.Sequential() {
+		p.rts.primeMemos()
+	}
 }
 
 // beginInterval resets the load database at the start of an LB interval.
 func (p *pe) beginInterval() {
 	p.resetLoadDB()
 	clear(p.synced)
-	p.inSync = false
+	p.exitSync()
 	p.orderSeen = false
 	p.expectIn = 0
 	p.arrivedIn = 0
@@ -214,7 +254,7 @@ func (p *pe) execute(d appDelivery) {
 	}
 	p.running = true
 	p.curTo = d.to
-	p.curStart = p.rts.eng.Now()
+	p.curStart = p.eng.Now()
 	ctx := &p.ctx
 	ctx.rts, ctx.pe, ctx.self = p.rts, p, d.to
 	ctx.sends = ctx.sends[:0]
@@ -230,7 +270,7 @@ func (p *pe) execute(d appDelivery) {
 
 // onEntryDone fires when the in-flight entry's CPU burst has been served.
 func (p *pe) onEntryDone() {
-	now := p.rts.eng.Now()
+	now := p.eng.Now()
 	p.running = false
 	p.taskWall[p.curTo] += float64(now - p.curStart)
 	if rec := p.rts.cfg.Trace; rec != nil {
@@ -257,7 +297,7 @@ func (p *pe) afterEntry(ctx *Ctx) {
 		p.contribute(ctx.self, c)
 	}
 	if ctx.done {
-		p.rts.chareDone(ctx.self)
+		p.rts.chareDone(p, ctx.self)
 	}
 	if ctx.atSync {
 		if p.synced[ctx.self] {

@@ -17,16 +17,25 @@ package charm
 // (asynchronously, like every other runtime callback). Each registration
 // fires exactly once.
 func (r *RTS) StartQD(fn func()) {
+	if r.sh != nil {
+		// The quiescence check reads queue and in-flight state on every
+		// shard, so the whole wait runs merged-sequentially. Released when
+		// the waiter fires.
+		r.sh.RequireSequential()
+	}
 	r.qdWaiters = append(r.qdWaiters, fn)
 	r.maybeQuiesce()
 }
 
 // netSend transmits a runtime message with in-flight accounting, so
-// quiescence detection sees it.
+// quiescence detection sees it. The source shard's slot is incremented
+// here (source execution context) and the destination's decremented at
+// delivery (destination context); only the sum across slots is meaningful.
 func (r *RTS) netSend(srcCore, dstCore, bytes int, deliver func()) {
-	r.netInflight++
+	dstShard := r.cfg.Machine.ShardOf(dstCore)
+	r.netInflight[r.cfg.Machine.ShardOf(srcCore)].n++
 	r.cfg.Net.Send(srcCore, dstCore, bytes, func() {
-		r.netInflight--
+		r.netInflight[dstShard].n--
 		deliver()
 	})
 }
@@ -36,7 +45,14 @@ func (r *RTS) netSend(srcCore, dstCore, bytes int, deliver func()) {
 // registered before Start observe the quiet *after* the work, which is
 // what quiescence means.
 func (r *RTS) quiescent() bool {
-	if !r.started || r.netInflight > 0 || r.lb.active {
+	if !r.started || r.lb.active {
+		return false
+	}
+	inflight := 0
+	for i := range r.netInflight {
+		inflight += r.netInflight[i].n
+	}
+	if inflight > 0 {
 		return false
 	}
 	for _, p := range r.pes {
@@ -48,16 +64,34 @@ func (r *RTS) quiescent() bool {
 }
 
 // maybeQuiesce fires QD waiters if the runtime is quiet. PEs call it
-// whenever they drain their queues.
+// whenever they drain their queues. With waiters pending the run is
+// sequential (StartQD pinned it), so the cross-shard reads in quiescent
+// are safe; without waiters this returns after one length check.
 func (r *RTS) maybeQuiesce() {
 	if len(r.qdWaiters) == 0 || !r.quiescent() {
 		return
 	}
 	waiters := r.qdWaiters
 	r.qdWaiters = nil
-	r.eng.After(0, func() {
+	fire := func() {
 		for _, fn := range waiters {
 			fn()
 		}
-	})
+		if r.sh != nil {
+			for range waiters {
+				r.sh.ReleaseSequential()
+			}
+			if !r.sh.Sequential() {
+				r.primeMemos()
+			}
+		}
+	}
+	if r.sh != nil {
+		// The sharded frontier clock, not r.eng: the quiescent instant is
+		// wherever merged execution has advanced to, and r.eng may belong
+		// to a shard this runtime does not even run on.
+		r.sh.GlobalAfter(0, fire)
+		return
+	}
+	r.eng.After(0, fire)
 }

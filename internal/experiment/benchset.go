@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"context"
+	"fmt"
 
 	"cloudlb/internal/apps"
 	"cloudlb/internal/charm"
@@ -83,6 +84,20 @@ func FigureBenchmarks() []NamedBench {
 			Run(Scenario{App: Wave2D, Cores: 4, Strategy: CostAware, BG: BGWave2D, Seed: 1, Scale: BenchScale})
 		}},
 	}
+}
+
+// ShardedBench is the workload the sharded scheduler targets: the
+// heaviest single scenario of the evaluation — Mol3D on the full 32-core
+// testbed under the 4x-preferred background job, with load balancing
+// exercising the window-aligned sequential sections. One op is one whole
+// scenario run at the given shard count; comparing shard counts at a
+// given GOMAXPROCS measures the conservative windows' overhead (P=1) and
+// speedup (P>=shards). Results are byte-identical at every shard count.
+func ShardedBench(shards int) NamedBench {
+	return NamedBench{fmt.Sprintf("Fig2Mol3DCellShards%d", shards), func() {
+		Run(Scenario{App: Mol3D, Cores: 32, Strategy: Refine, BG: BGWave2D,
+			BGWeight: 4, BGIters: 2400, Seed: 1, Scale: 0.4, Shards: shards})
+	}}
 }
 
 // AblationRun executes the DESIGN.md A1 ablation world under the given

@@ -9,6 +9,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"strconv"
+	"strings"
 
 	"cloudlb/internal/apps"
 	"cloudlb/internal/charm"
@@ -174,6 +177,13 @@ type Scenario struct {
 	LBTimeline *metrics.LBTimeline
 	// MaxVirtualTime bounds the simulation (default 10000 s).
 	MaxVirtualTime sim.Time
+	// Shards selects the event scheduler. 0 or 1 runs the classic
+	// single-engine simulation; N > 1 partitions the machine by node into
+	// N conservatively-synchronized shards executing in parallel (clamped
+	// to the node count); -1 means auto: one shard per node, capped at
+	// GOMAXPROCS. Every value produces byte-identical results — sharding
+	// is purely a wall-clock optimization.
+	Shards int
 }
 
 // Result is one run's measurements.
@@ -201,13 +211,54 @@ type Result struct {
 // testbedCores is the testbed's total core count.
 const testbedCores = 32
 
-// testbed returns the paper's machine shape.
-func testbed(eng *sim.Engine, interactivityBonus float64, reg *metrics.Registry) *machine.Machine {
-	return machine.New(eng, machine.Config{
+// testbed returns the paper's machine shape, driven by the sharded
+// scheduler when sh is non-nil and by the single engine otherwise.
+func testbed(eng *sim.Engine, sh *sim.Shards, interactivityBonus float64, reg *metrics.Registry) *machine.Machine {
+	cfg := machine.Config{
 		Nodes: 8, CoresPerNode: 4, CoreSpeed: 1,
 		InteractivityBonus: interactivityBonus,
 		Metrics:            reg,
-	})
+	}
+	if sh != nil {
+		return machine.NewSharded(sh, cfg)
+	}
+	return machine.New(eng, cfg)
+}
+
+// testbedNodes is the testbed's node count — the upper bound on shards.
+const testbedNodes = 8
+
+// ParseShards parses a -shards command-line value: "auto" (one shard per
+// node, capped at GOMAXPROCS) maps to -1, otherwise a non-negative count
+// (0 and 1 both select the classic single-engine scheduler).
+func ParseShards(v string) (int, error) {
+	if strings.EqualFold(v, "auto") {
+		return -1, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("experiment: -shards must be a non-negative integer or \"auto\", got %q", v)
+	}
+	return n, nil
+}
+
+// resolveShards maps the Scenario.Shards knob to a concrete shard count:
+// 0 or 1 keeps the classic single-engine path, -1 asks for one shard per
+// node capped at GOMAXPROCS, and anything else clamps into [1, nodes].
+func resolveShards(v, nodes int) int {
+	if v == 0 || v == 1 {
+		return 1
+	}
+	if v < 0 {
+		v = runtime.GOMAXPROCS(0)
+	}
+	if v > nodes {
+		v = nodes
+	}
+	if v < 1 {
+		v = 1
+	}
+	return v
 }
 
 // Run executes one scenario to completion and returns its measurements.
@@ -228,17 +279,42 @@ func Run(s Scenario) Result {
 		panic("experiment: AppNone requires the Wave2D background job (it is the thing being measured)")
 	}
 
-	eng := sim.NewEngine()
+	netCfg := xnet.DefaultConfig()
+	nShards := resolveShards(s.Shards, testbedNodes)
+
+	var (
+		eng *sim.Engine
+		sh  *sim.Shards
+	)
 	// A divergent model (e.g. a misconfigured workload that never drains)
 	// should fail loudly instead of spinning; real scenarios stay well
-	// under this.
-	eng.SetEventLimit(2_000_000_000)
-	eng.SetMetrics(
-		s.Metrics.Counter("sim_events_total", "Events dispatched by the simulation engine."),
-		s.Metrics.Gauge("sim_event_heap_depth_max", "High-water mark of the pending-event heap."),
-	)
-	mach := testbed(eng, s.InteractivityBonus, s.Metrics)
-	net := xnet.New(mach, xnet.DefaultConfig())
+	// under this limit.
+	if nShards > 1 {
+		// Conservative lookahead = the minimum inter-node latency: every
+		// cross-node delivery lands at least this far in the sender's
+		// future, which is what lets shards burn a window in parallel.
+		sh = sim.NewShards(nShards, sim.Time(netCfg.InterNodeLatency))
+		defer sh.Close()
+		sh.SetEventLimit(2_000_000_000)
+		sh.SetMetrics(s.Metrics)
+		eng = sh.Engine(0)
+		if len(s.Faults) > 0 {
+			// Elastic revoke/evacuate handlers reach across every shard.
+			sh.ForceSequential()
+		}
+		if s.Trace != nil {
+			s.Trace.SetConcurrent(true)
+		}
+	} else {
+		eng = sim.NewEngine()
+		eng.SetEventLimit(2_000_000_000)
+		eng.SetMetrics(
+			s.Metrics.Counter("sim_events_total", "Events dispatched by the simulation engine."),
+			s.Metrics.Gauge("sim_event_heap_depth_max", "High-water mark of the pending-event heap."),
+		)
+	}
+	mach := testbed(eng, sh, s.InteractivityBonus, s.Metrics)
+	net := xnet.New(mach, netCfg)
 	rng := rand.New(rand.NewSource(s.Seed*2654435761 + 12345))
 
 	var appRTS *charm.RTS
@@ -309,16 +385,31 @@ func Run(s Scenario) Result {
 	meter := power.NewMeter(mach, power.DefaultModel(), 1, nodes)
 	meter.Start()
 
+	// Under a sharded scheduler the finish callback fires at the first
+	// window barrier after the last Done — possibly past the finish
+	// instant — so the meter's final reading is reconstructed for the
+	// exact finish time from the busy logs instead of sampled "now".
 	if appRTS != nil {
 		appRTS.Start()
-		appRTS.SetOnAllDone(meter.Stop)
+		if sh != nil {
+			app := appRTS
+			appRTS.SetOnAllDone(func() { meter.StopAsOf(app.FinishTime()) })
+		} else {
+			appRTS.SetOnAllDone(meter.Stop)
+		}
 	}
 	if bg != nil {
-		// Jittered start: interference does not arrive at a barrier.
+		// Jittered start: interference does not arrive at a barrier. The
+		// start touches cores on several shards, so it is a coordinator
+		// global event when sharded (plain engine event otherwise).
 		offset := sim.Time(0.05 * rng.Float64())
-		eng.At(offset, bg.Start)
+		mach.GlobalAt(offset, bg.Start)
 		if appRTS == nil {
-			bg.RTS.SetOnAllDone(meter.Stop)
+			if sh != nil {
+				bg.RTS.SetOnAllDone(func() { meter.StopAsOf(bg.FinishTime()) })
+			} else {
+				bg.RTS.SetOnAllDone(meter.Stop)
+			}
 		}
 	}
 
@@ -331,13 +422,26 @@ func Run(s Scenario) Result {
 		}
 		return true
 	}
-	for !finished() && eng.Now() < s.MaxVirtualTime {
-		if err := eng.RunUntil(eng.Now() + 1); err != nil {
-			panic(err)
+	if sh != nil {
+		for !finished() && sh.Now() < s.MaxVirtualTime {
+			if err := sh.RunUntil(sh.Now() + 1); err != nil {
+				panic(err)
+			}
+			mach.PublishMetrics()
+			// Finish times consolidate at the first barrier after they
+			// occur, so once a virtual second has fully drained the busy
+			// logs can be re-baselined to bound their memory.
+			mach.TrimBusyLogs()
 		}
-		// Publish per-core busy/idle from the owning goroutine so a live
-		// /metrics scrape sees them move without touching scheduler state.
-		mach.PublishMetrics()
+	} else {
+		for !finished() && eng.Now() < s.MaxVirtualTime {
+			if err := eng.RunUntil(eng.Now() + 1); err != nil {
+				panic(err)
+			}
+			// Publish per-core busy/idle from the owning goroutine so a live
+			// /metrics scrape sees them move without touching scheduler state.
+			mach.PublishMetrics()
+		}
 	}
 	if !finished() {
 		panic(fmt.Sprintf("experiment: scenario %+v did not finish by t=%v", s, s.MaxVirtualTime))
@@ -356,7 +460,11 @@ func Run(s Scenario) Result {
 	}
 	res.AvgPowerW = meter.AveragePowerWatts()
 	res.EnergyJ = meter.EnergyJoules()
-	res.Events = eng.Executed()
+	if sh != nil {
+		res.Events = sh.Executed()
+	} else {
+		res.Events = eng.Executed()
+	}
 	return res
 }
 

@@ -35,17 +35,25 @@ type Options struct {
 	// notifies through its own Progress field — so a batch is never
 	// double-counted.
 	Progress Progress
+	// Shards, when non-zero, selects the event scheduler for every
+	// scenario in the batch that doesn't choose its own (see
+	// Scenario.Shards: N>1 sharded, -1 auto). Results are identical at
+	// any value; only wall-clock time changes.
+	Shards int
 }
 
 // run instruments the batch per the options and dispatches it.
 func (o Options) run(ctx context.Context, batch []Scenario) ([]Result, error) {
-	if o.Metrics != nil || o.LBTimeline != nil {
+	if o.Metrics != nil || o.LBTimeline != nil || o.Shards != 0 {
 		for i := range batch {
 			if o.Metrics != nil && batch[i].Metrics == nil {
 				batch[i].Metrics = o.Metrics
 			}
 			if o.LBTimeline != nil && batch[i].LBTimeline == nil {
 				batch[i].LBTimeline = o.LBTimeline
+			}
+			if o.Shards != 0 && batch[i].Shards == 0 {
+				batch[i].Shards = o.Shards
 			}
 		}
 	}

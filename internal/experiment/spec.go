@@ -44,6 +44,10 @@ type Spec struct {
 	Faults             elastic.Schedule
 	MaxVirtualTime     sim.Time
 
+	// Shards selects the event scheduler for every expanded scenario
+	// (see Scenario.Shards: 0/1 classic, N>1 sharded, -1 auto).
+	Shards int
+
 	// Sweep axes for SweepRefineParams.
 	EpsFracs []float64
 	Periods  []int
@@ -95,6 +99,7 @@ func (sp Spec) Scenarios() []Scenario {
 					Hierarchical:       sp.Hierarchical,
 					Faults:             sp.Faults,
 					MaxVirtualTime:     sp.MaxVirtualTime,
+					Shards:             sp.Shards,
 				})
 			}
 		}

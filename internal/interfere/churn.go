@@ -79,9 +79,13 @@ func StartChurn(m *machine.Machine, cfg ChurnConfig) *Churn {
 }
 
 func (c *Churn) scheduleNext() {
+	// Arrivals pick a random core, so the chain runs in coordinator
+	// context (global events under a sharded scheduler): the rng draws and
+	// placements happen in one deterministic sequence however many shards
+	// execute the resulting hogs.
 	gap := sim.Time(c.rng.ExpFloat64() / c.cfg.ArrivalsPerSecond)
-	c.mach.Engine().After(gap, func() {
-		now := c.mach.Engine().Now()
+	c.mach.GlobalAfter(gap, func() {
+		now := c.mach.Now()
 		if c.cfg.Until > 0 && now > c.cfg.Until {
 			return
 		}
@@ -112,7 +116,7 @@ func (c *Churn) arrive(now sim.Time) {
 		Trace:    c.cfg.Trace,
 		Name:     fmt.Sprintf("tenant-%d@%d", c.nextID, core),
 	})
-	c.mach.Engine().At(now+dur, func() { c.live-- })
+	c.mach.GlobalAt(now+dur, func() { c.live-- })
 }
 
 // Arrivals reports how many tenants were admitted so far.

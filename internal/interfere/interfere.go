@@ -41,8 +41,11 @@ type HogConfig struct {
 
 // Hog is a running interfering job.
 type Hog struct {
-	cfg     HogConfig
-	mach    *machine.Machine
+	cfg  HogConfig
+	mach *machine.Machine
+	// eng is the engine of the hogged core's shard: all hog events stay on
+	// it, so a hog never reaches across shards.
+	eng     *sim.Engine
 	thread  *machine.Thread
 	stopped bool
 	cpuUsed float64
@@ -64,12 +67,11 @@ func StartHog(m *machine.Machine, cfg HogConfig) *Hog {
 	if cfg.Name == "" {
 		cfg.Name = fmt.Sprintf("hog@%d", cfg.Core)
 	}
-	h := &Hog{cfg: cfg, mach: m}
+	h := &Hog{cfg: cfg, mach: m, eng: m.EngineFor(cfg.Core)}
 	h.thread = m.NewThread(cfg.Name, m.Core(cfg.Core), cfg.Weight)
-	eng := m.Engine()
-	eng.At(cfg.Start, h.loop)
+	h.eng.At(cfg.Start, h.loop)
 	if cfg.Stop > cfg.Start {
-		eng.At(cfg.Stop, h.stop)
+		h.eng.At(cfg.Stop, h.stop)
 	}
 	return h
 }
@@ -78,7 +80,7 @@ func (h *Hog) loop() {
 	if h.stopped {
 		return
 	}
-	eng := h.mach.Engine()
+	eng := h.eng
 	start := eng.Now()
 	h.thread.Run(h.cfg.BurstCPU, func() {
 		now := eng.Now()
@@ -106,7 +108,7 @@ func (h *Hog) stop() {
 	if rem := h.thread.Abort(); rem > 0 {
 		h.cpuUsed += h.cfg.BurstCPU - rem
 	}
-	h.cfg.Trace.Mark(h.cfg.Core, h.mach.Engine().Now(), h.cfg.Name+" stops")
+	h.cfg.Trace.Mark(h.cfg.Core, h.eng.Now(), h.cfg.Name+" stops")
 }
 
 // Stopped reports whether the hog has wound down.

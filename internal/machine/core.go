@@ -14,9 +14,15 @@ const workEpsilon = 1e-9
 
 // Core is a single CPU core scheduled with generalized processor sharing.
 type Core struct {
-	ID    int
-	node  *Node
-	m     *Machine
+	ID   int
+	node *Node
+	m    *Machine
+	// eng is the engine this core's events live on: the machine's single
+	// engine, or the node's shard engine under a sharded scheduler. All
+	// scheduling and time reads in the core go through it, so a shard can
+	// run its cores without touching any other shard's clock.
+	eng   *sim.Engine
+	shard int
 	speed float64
 
 	active []*Thread // runnable threads currently sharing the core
@@ -35,6 +41,22 @@ type Core struct {
 	// doneScratch is onCompletion's completed-thread list, reused across
 	// firings so steady-state scheduling allocates nothing.
 	doneScratch []*Thread
+
+	// logPoints, when enabled, records (time, cumulative busy, runnable)
+	// after every settlement so BusyAt can reconstruct the exact busy
+	// counter at an instant the shard has already run past. Off by default:
+	// the single-engine configuration reads ProcStat at the instant it
+	// needs and pays only the branch.
+	logPoints bool
+	busyLog   []busyPoint
+}
+
+// busyPoint is one entry of a core's busy log: the busy counter as settled
+// at time at, and whether the core was runnable over the span that follows.
+type busyPoint struct {
+	at       sim.Time
+	busy     sim.Time
+	runnable bool
 }
 
 // Node returns the node hosting this core.
@@ -101,7 +123,7 @@ func (c *Core) ProcStat() (busy, idle sim.Time) {
 // is a convenience for power metering; since must not be in the future.
 func (c *Core) Utilization(busySince, since sim.Time) (busyNow sim.Time, util float64) {
 	c.settle()
-	now := c.m.eng.Now()
+	now := c.eng.Now()
 	if now <= since {
 		return c.busy, 0
 	}
@@ -111,7 +133,7 @@ func (c *Core) Utilization(busySince, since sim.Time) (busyNow sim.Time, util fl
 // settle distributes CPU for the wall time elapsed since the last
 // settlement among the runnable threads, updating all accounting.
 func (c *Core) settle() {
-	now := c.m.eng.Now()
+	now := c.eng.Now()
 	dt := now - c.lastSettle
 	c.lastSettle = now
 	if dt <= 0 {
@@ -119,6 +141,7 @@ func (c *Core) settle() {
 	}
 	if len(c.active) == 0 {
 		c.idle += dt
+		c.logPoint()
 		return
 	}
 	c.busy += dt
@@ -128,6 +151,50 @@ func (c *Core) settle() {
 		th.remaining -= got
 		th.cpu += sim.Time(got)
 	}
+	c.logPoint()
+}
+
+// logPoint appends the just-settled state to the busy log (replacing the
+// last entry when settlement did not advance time). The runnable flag is
+// re-recorded by add/remove/onCompletion after they mutate the active set,
+// so the last entry at any instant describes the span that follows it.
+func (c *Core) logPoint() {
+	if !c.logPoints {
+		return
+	}
+	p := busyPoint{at: c.lastSettle, busy: c.busy, runnable: len(c.active) > 0}
+	if n := len(c.busyLog); n > 0 && c.busyLog[n-1].at == p.at {
+		c.busyLog[n-1] = p
+		return
+	}
+	c.busyLog = append(c.busyLog, p)
+}
+
+// BusyAt reconstructs the exact cumulative busy counter at time t from the
+// busy log: the value ProcStat would have returned had it been called at t.
+// It requires logging enabled and t no earlier than the last TrimBusyLogs
+// baseline. The reconstruction reproduces settle's arithmetic — one
+// addition onto the counter as of the preceding settlement — so the result
+// is bit-identical to an in-place reading.
+func (c *Core) BusyAt(t sim.Time) sim.Time {
+	log := c.busyLog
+	lo, hi := 0, len(log)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if log[mid].at <= t {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		panic(fmt.Sprintf("machine: BusyAt(%v) precedes the busy log of core %d", t, c.ID))
+	}
+	p := log[lo-1]
+	if p.runnable && t > p.at {
+		return p.busy + (t - p.at)
+	}
+	return p.busy
 }
 
 func (c *Core) totalWeight() float64 {
@@ -144,7 +211,7 @@ func (c *Core) totalWeight() float64 {
 // callbacks observe a consistent, fully-armed core.
 func (c *Core) arm() {
 	if c.hasNext {
-		c.m.eng.Cancel(c.nextDone)
+		c.eng.Cancel(c.nextDone)
 		c.hasNext = false
 	}
 	if len(c.active) == 0 {
@@ -162,7 +229,7 @@ func (c *Core) arm() {
 			soonest = dt
 		}
 	}
-	c.nextDone = c.m.eng.After(sim.Time(soonest), c.onCompletionFn)
+	c.nextDone = c.eng.After(sim.Time(soonest), c.onCompletionFn)
 	c.hasNext = true
 }
 
@@ -189,6 +256,7 @@ func (c *Core) onCompletion() {
 		c.active[i] = nil
 	}
 	c.active = keep
+	c.logPoint()
 	c.arm()
 	for _, th := range done {
 		th.finishBurst()
@@ -205,6 +273,7 @@ func (c *Core) add(th *Thread) {
 	}
 	c.settle()
 	c.active = append(c.active, th)
+	c.logPoint()
 	c.arm()
 }
 
@@ -215,6 +284,7 @@ func (c *Core) remove(th *Thread) {
 			copy(c.active[i:], c.active[i+1:])
 			c.active[len(c.active)-1] = nil // drop the stale tail reference
 			c.active = c.active[:len(c.active)-1]
+			c.logPoint()
 			c.arm()
 			return
 		}
@@ -257,7 +327,7 @@ func (m *Machine) NewThread(name string, core *Core, weight float64) *Thread {
 		name:       name,
 		core:       core,
 		weight:     weight,
-		sleepStart: m.eng.Now(),
+		sleepStart: core.eng.Now(),
 	}
 }
 
@@ -294,7 +364,7 @@ func (t *Thread) Run(demand float64, onDone func()) {
 	if demand < 0 {
 		panic("machine: negative CPU demand")
 	}
-	eng := t.core.m.eng
+	eng := t.core.eng
 	now := eng.Now()
 	// Update the sleep-fraction EMA with the completed run/sleep cycle.
 	if t.everRan {
@@ -332,7 +402,7 @@ func (t *Thread) Run(demand float64, onDone func()) {
 func (t *Thread) finishBurst() {
 	t.running = false
 	t.remaining = 0
-	t.sleepStart = t.core.m.eng.Now()
+	t.sleepStart = t.core.eng.Now()
 	if t.onDone != nil {
 		cb := t.onDone
 		t.onDone = nil
@@ -384,6 +454,6 @@ func (t *Thread) Abort() float64 {
 	t.running = false
 	t.onDone = nil
 	t.remaining = 0
-	t.sleepStart = t.core.m.eng.Now()
+	t.sleepStart = t.core.eng.Now()
 	return rem
 }

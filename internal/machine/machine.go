@@ -74,6 +74,13 @@ type Machine struct {
 	nodes []*Node
 	cores []*Core // flattened, global core IDs
 
+	// shards is non-nil when the cluster is driven by a sharded scheduler:
+	// each node's cores then schedule on their shard's engine, and
+	// cross-cutting actors (power meter, churn) use GlobalAt. Nil in the
+	// classic single-engine configuration, which stays on exactly the old
+	// code path.
+	shards *sim.Shards
+
 	// metricsBusy/metricsIdle are the per-core gauges PublishMetrics
 	// feeds; nil without Config.Metrics.
 	metricsBusy []*metrics.Gauge
@@ -102,13 +109,55 @@ func New(eng *sim.Engine, cfg Config) *Machine {
 		cfg.InteractivityAlpha = 0.25
 	}
 	m := &Machine{eng: eng, cfg: cfg}
+	m.build(func(int) *sim.Engine { return eng })
+	m.registerMetrics()
+	return m
+}
+
+// NewSharded builds a cluster driven by a sharded event scheduler. Nodes
+// are assigned to shards in contiguous blocks (node n of N on shard
+// n*S/N), and every core schedules exclusively on its node's shard engine.
+// The shard count must not exceed the node count: a node's cores share
+// NIC and scheduler state and can never be split.
+func NewSharded(sh *sim.Shards, cfg Config) *Machine {
+	if cfg.Nodes <= 0 || cfg.CoresPerNode <= 0 {
+		panic(fmt.Sprintf("machine: invalid shape %d nodes x %d cores", cfg.Nodes, cfg.CoresPerNode))
+	}
+	if cfg.CoreSpeed <= 0 {
+		panic("machine: core speed must be positive")
+	}
+	if sh.NumShards() > cfg.Nodes {
+		panic(fmt.Sprintf("machine: %d shards for %d nodes", sh.NumShards(), cfg.Nodes))
+	}
+	if cfg.InteractivityAlpha == 0 {
+		cfg.InteractivityAlpha = 0.25
+	}
+	m := &Machine{eng: sh.Engine(0), cfg: cfg, shards: sh}
+	m.build(func(node int) *sim.Engine {
+		return sh.Engine(node * sh.NumShards() / cfg.Nodes)
+	})
+	m.registerMetrics()
+	return m
+}
+
+// build creates the node/core topology, pinning each core to the engine
+// engineOf assigns to its node.
+func (m *Machine) build(engineOf func(node int) *sim.Engine) {
+	cfg := m.cfg
 	for n := 0; n < cfg.Nodes; n++ {
 		node := &Node{ID: n}
+		eng := engineOf(n)
+		shard := 0
+		if m.shards != nil {
+			shard = n * m.shards.NumShards() / cfg.Nodes
+		}
 		for c := 0; c < cfg.CoresPerNode; c++ {
 			core := &Core{
 				ID:     n*cfg.CoresPerNode + c,
 				node:   node,
 				m:      m,
+				eng:    eng,
+				shard:  shard,
 				speed:  cfg.CoreSpeed,
 				online: true,
 			}
@@ -118,18 +167,22 @@ func New(eng *sim.Engine, cfg Config) *Machine {
 		}
 		m.nodes = append(m.nodes, node)
 	}
-	if reg := cfg.Metrics; reg != nil {
-		m.metricsBusy = make([]*metrics.Gauge, len(m.cores))
-		m.metricsIdle = make([]*metrics.Gauge, len(m.cores))
-		for i := range m.cores {
-			core := metrics.L("core", strconv.Itoa(i))
-			m.metricsBusy[i] = reg.Gauge("machine_core_busy_seconds",
-				"Cumulative busy virtual seconds per core (/proc/stat busy).", core)
-			m.metricsIdle[i] = reg.Gauge("machine_core_idle_seconds",
-				"Cumulative idle virtual seconds per core (/proc/stat idle).", core)
-		}
+}
+
+func (m *Machine) registerMetrics() {
+	reg := m.cfg.Metrics
+	if reg == nil {
+		return
 	}
-	return m
+	m.metricsBusy = make([]*metrics.Gauge, len(m.cores))
+	m.metricsIdle = make([]*metrics.Gauge, len(m.cores))
+	for i := range m.cores {
+		core := metrics.L("core", strconv.Itoa(i))
+		m.metricsBusy[i] = reg.Gauge("machine_core_busy_seconds",
+			"Cumulative busy virtual seconds per core (/proc/stat busy).", core)
+		m.metricsIdle[i] = reg.Gauge("machine_core_idle_seconds",
+			"Cumulative idle virtual seconds per core (/proc/stat idle).", core)
+	}
 }
 
 // PublishMetrics settles every core and stores the cumulative busy/idle
@@ -150,8 +203,52 @@ func (m *Machine) PublishMetrics() {
 	}
 }
 
-// Engine returns the driving simulation engine.
+// Engine returns the driving simulation engine — the single engine in the
+// classic configuration, shard 0's engine under a sharded scheduler (use
+// EngineFor for per-core scheduling and GlobalAt for cross-shard actors).
 func (m *Machine) Engine() *sim.Engine { return m.eng }
+
+// Shards returns the sharded scheduler driving the cluster, or nil in the
+// single-engine configuration.
+func (m *Machine) Shards() *sim.Shards { return m.shards }
+
+// EngineFor returns the engine that owns the given core's events: the
+// core's shard engine, or the single engine when unsharded.
+func (m *Machine) EngineFor(coreID int) *sim.Engine { return m.cores[coreID].eng }
+
+// ShardOf reports which shard owns a core (always 0 when unsharded).
+func (m *Machine) ShardOf(coreID int) int { return m.cores[coreID].shard }
+
+// GlobalAt schedules fn at virtual time t in coordinator context: on the
+// single engine when unsharded, as a shard-coordinator global event (all
+// shards parked at t) otherwise. Cross-cutting actors that touch cores on
+// several shards — the power meter, cloud churn, background-job starts —
+// must schedule through this instead of a shard engine.
+func (m *Machine) GlobalAt(t sim.Time, fn func()) {
+	if m.shards == nil {
+		m.eng.At(t, fn)
+		return
+	}
+	m.shards.GlobalAt(t, fn)
+}
+
+// GlobalAfter schedules fn d seconds from now in coordinator context.
+func (m *Machine) GlobalAfter(d sim.Duration, fn func()) {
+	if m.shards == nil {
+		m.eng.After(d, fn)
+		return
+	}
+	m.shards.GlobalAfter(d, fn)
+}
+
+// Now reports virtual time in coordinator context (between windows, inside
+// global events, or anywhere in the single-engine configuration).
+func (m *Machine) Now() sim.Time {
+	if m.shards == nil {
+		return m.eng.Now()
+	}
+	return m.shards.Now()
+}
 
 // Config returns the construction-time configuration.
 func (m *Machine) Config() Config { return m.cfg }
@@ -181,3 +278,31 @@ func (m *Machine) Node(id int) *Node { return m.nodes[id] }
 
 // NodeOf reports which node hosts a global core ID.
 func (m *Machine) NodeOf(coreID int) int { return coreID / m.cfg.CoresPerNode }
+
+// EnableBusyLog turns on busy logging for the given cores, seeding each
+// log with the current settled state. The power meter enables it (for the
+// cores it meters) under a sharded scheduler, so it can take its final
+// sample at an application finish time the shards have already run past.
+func (m *Machine) EnableBusyLog(coreIDs []int) {
+	for _, id := range coreIDs {
+		c := m.cores[id]
+		c.logPoints = true
+		c.busyLog = append(c.busyLog[:0],
+			busyPoint{at: c.lastSettle, busy: c.busy, runnable: len(c.active) > 0})
+	}
+}
+
+// TrimBusyLogs truncates every enabled busy log to a single baseline entry
+// for the current state, bounding log memory. The scenario drive loop
+// calls it once per virtual second; BusyAt afterwards only accepts times
+// from the trim point on, which is always the case because finish times
+// are consolidated at the first window barrier after they occur.
+func (m *Machine) TrimBusyLogs() {
+	for _, c := range m.cores {
+		if !c.logPoints || len(c.busyLog) == 0 {
+			continue
+		}
+		c.busyLog[0] = busyPoint{at: c.lastSettle, busy: c.busy, runnable: len(c.active) > 0}
+		c.busyLog = c.busyLog[:1]
+	}
+}

@@ -101,8 +101,20 @@ func (m *Meter) Start() {
 		panic("power: meter already started")
 	}
 	m.running = true
-	m.lastAt = m.mach.Engine().Now()
+	m.lastAt = m.mach.Now()
 	m.startAt = m.lastAt
+	if m.mach.Shards() != nil {
+		// Under a sharded scheduler the final reading may be taken for an
+		// instant the shards have already run past (StopAsOf), so the
+		// metered cores keep busy logs for exact reconstruction.
+		var ids []int
+		for _, n := range m.nodes {
+			for _, c := range m.mach.Node(n).Cores() {
+				ids = append(ids, c.ID)
+			}
+		}
+		m.mach.EnableBusyLog(ids)
+	}
 	m.lastBusy = make([][]sim.Time, m.mach.NumNodes())
 	for _, n := range m.nodes {
 		node := m.mach.Node(n)
@@ -116,7 +128,10 @@ func (m *Meter) Start() {
 }
 
 func (m *Meter) scheduleNext() {
-	m.mach.Engine().After(m.interval, func() {
+	// Samples touch cores on every metered node, so under a sharded
+	// scheduler they run as coordinator global events with all shards
+	// parked at the sample instant; unsharded this is a plain engine event.
+	m.mach.GlobalAfter(m.interval, func() {
 		if !m.running {
 			return
 		}
@@ -127,7 +142,15 @@ func (m *Meter) scheduleNext() {
 
 // sample reads utilization since the previous sample and appends a reading.
 func (m *Meter) sample() {
-	now := m.mach.Engine().Now()
+	m.sampleAt(m.mach.Now(), func(c *machine.Core) sim.Time {
+		busy, _ := c.ProcStat()
+		return busy
+	})
+}
+
+// sampleAt appends a reading for the instant now, reading each core's
+// cumulative busy counter through busyOf.
+func (m *Meter) sampleAt(now sim.Time, busyOf func(*machine.Core) sim.Time) {
 	dt := float64(now - m.lastAt)
 	if dt <= 0 {
 		return
@@ -137,7 +160,7 @@ func (m *Meter) sample() {
 		node := m.mach.Node(n)
 		util := make([]float64, len(node.Cores()))
 		for i, c := range node.Cores() {
-			busy, _ := c.ProcStat()
+			busy := busyOf(c)
 			util[i] = float64(busy-m.lastBusy[n][i]) / dt
 			m.lastBusy[n][i] = busy
 		}
@@ -155,6 +178,20 @@ func (m *Meter) Stop() {
 		return
 	}
 	m.sample()
+	m.running = false
+	m.stopped = true
+}
+
+// StopAsOf stops the meter with its final sample taken for the instant t,
+// which may lie before the shards' current clocks: the busy counters are
+// reconstructed from the logs Start enabled, yielding bit-identical values
+// to a Stop executed exactly at t. The sharded scenario runner uses it
+// when it consolidates an application finish at a window barrier.
+func (m *Meter) StopAsOf(t sim.Time) {
+	if !m.running {
+		return
+	}
+	m.sampleAt(t, func(c *machine.Core) sim.Time { return c.BusyAt(t) })
 	m.running = false
 	m.stopped = true
 }

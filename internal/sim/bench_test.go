@@ -100,3 +100,33 @@ func BenchmarkEventHeapBoxed(b *testing.B) {
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/s")
 }
+
+// BenchmarkEngineRunUntil measures the window-draining path the scenario
+// drive loop and the shard workers sit in: a steady queue of pending
+// events, a fraction of them cancelled (the machine layer cancels and
+// re-arms a completion timer on every thread change), drained window by
+// window through RunUntil.
+func BenchmarkEngineRunUntil(b *testing.B) {
+	e := NewEngine()
+	nop := func() {}
+	const perWindow = 8
+	window := Duration(1)
+	for i := 0; i < benchQueueDepth; i++ {
+		e.At(e.Now()+Time(i)*window/benchQueueDepth, nop)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := e.Now()
+		for j := 0; j < perWindow; j++ {
+			id := e.At(base+window*Time(j+1)/perWindow, nop)
+			if j%4 == 3 { // every 4th timer is cancelled before firing
+				e.Cancel(id)
+			}
+		}
+		if err := e.RunUntil(base + window); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N*perWindow)/b.Elapsed().Seconds(), "events/s")
+}

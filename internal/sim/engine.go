@@ -187,21 +187,67 @@ func (e *Engine) Run() error {
 // RunUntil fires events with timestamps <= deadline, then advances the clock
 // to the deadline. Events scheduled beyond the deadline stay pending. The
 // event limit is enforced as in Run: the (limit+1)th event never fires.
+//
+// The loop inspects the heap root exactly once per event: the earlier
+// peek-then-Step structure walked dead events out of the root in peek and
+// then re-ran the same dead-check loop inside Step, costing a second pass
+// over the root for every fired event.
 func (e *Engine) RunUntil(deadline Time) error {
-	for {
-		ev := e.peek()
-		if ev == nil || ev.at > deadline {
+	for e.pending.len() > 0 {
+		ev := e.pending.ev[0]
+		if ev.dead {
+			e.pending.pop()
+			e.recycle(ev)
+			continue
+		}
+		if ev.at > deadline {
 			break
 		}
 		if e.limit > 0 && e.executed >= e.limit {
 			return fmt.Errorf("sim: event limit %d exceeded at t=%v", e.limit, e.now)
 		}
-		e.Step()
+		e.metHeapDepth.SetMax(float64(e.pending.len()))
+		e.pending.pop()
+		fn := ev.fn
+		e.now = ev.at
+		e.executed++
+		e.metEvents.Inc()
+		e.recycle(ev)
+		fn()
 	}
 	if deadline > e.now {
 		e.now = deadline
 	}
 	return nil
+}
+
+// NextEventAt reports the timestamp of the next live pending event, popping
+// and recycling any cancelled events it encounters at the root. The shard
+// coordinator uses it between windows to compute the next safe window edge.
+func (e *Engine) NextEventAt() (Time, bool) {
+	for e.pending.len() > 0 {
+		ev := e.pending.ev[0]
+		if ev.dead {
+			e.pending.pop()
+			e.recycle(ev)
+			continue
+		}
+		return ev.at, true
+	}
+	return 0, false
+}
+
+// AdvanceTo moves the clock forward to t without firing anything. It panics
+// if a live event would be skipped or if t is in the past: the shard
+// coordinator only advances an engine across spans it has proven empty.
+func (e *Engine) AdvanceTo(t Time) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: advancing to %v before now %v", t, e.now))
+	}
+	if next, ok := e.NextEventAt(); ok && next < t {
+		panic(fmt.Sprintf("sim: advancing to %v past pending event at %v", t, next))
+	}
+	e.now = t
 }
 
 func (e *Engine) peek() *event {

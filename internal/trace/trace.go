@@ -11,6 +11,7 @@ package trace
 import (
 	"cmp"
 	"slices"
+	"sync"
 
 	"cloudlb/internal/sim"
 )
@@ -72,15 +73,38 @@ const chunkLen = 4096
 type Recorder struct {
 	chunks [][]Segment
 	count  int
+
+	// concurrent guards Add with mu, for runs driven by the sharded
+	// scheduler where several shard workers record at once. Readers
+	// (Segments etc.) still require quiescence — they run after the
+	// simulation. The per-core segment order stays deterministic: each
+	// core's segments are added by exactly one execution context at a time,
+	// and Segments' stable sort keys on (core, start), preserving that
+	// per-core insertion order however the cores' chunks interleave.
+	concurrent bool
+	mu         sync.Mutex
 }
 
 // NewRecorder returns an empty recorder.
 func NewRecorder() *Recorder { return &Recorder{} }
 
+// SetConcurrent makes Add safe for concurrent callers. Call before
+// recording starts; single-threaded runs skip the lock entirely.
+func (r *Recorder) SetConcurrent(on bool) {
+	if r == nil {
+		return
+	}
+	r.concurrent = on
+}
+
 // Add records a segment. Calls on a nil recorder are dropped.
 func (r *Recorder) Add(s Segment) {
 	if r == nil {
 		return
+	}
+	if r.concurrent {
+		r.mu.Lock()
+		defer r.mu.Unlock()
 	}
 	if s.End < s.Start {
 		s.Start, s.End = s.End, s.Start

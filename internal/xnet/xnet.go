@@ -42,19 +42,29 @@ func DefaultConfig() Config {
 }
 
 // Network delivers messages between cores of one machine.
+//
+// Under a sharded scheduler every piece of network state is owned by one
+// shard: a node's NIC queue belongs to the node's shard, and the in-order
+// bookkeeping and statistics are kept per source shard, so concurrent
+// windows never touch shared maps. Deliveries whose destination core lives
+// on another shard are handed to the shard coordinator; the inter-node
+// latency every such message carries is exactly the coordinator's
+// conservative lookahead.
 type Network struct {
-	eng  *sim.Engine
 	mach *machine.Machine
+	sh   *sim.Shards // nil when unsharded
 	cfg  Config
 
 	nicFree []sim.Time // per node: earliest time its NIC can start a new transfer
 	// lastArrival serializes delivery per (src,dst) core pair so in-order
-	// delivery holds even across the intra/inter path difference.
-	lastArrival map[[2]int]sim.Time
+	// delivery holds even across the intra/inter path difference. One map
+	// per source shard: the pair key starts at the source core, so a pair's
+	// entry is only ever touched by the shard sending on it.
+	lastArrival []map[[2]int]sim.Time
 
-	// Stats.
-	messages   uint64
-	bytesMoved uint64
+	// Stats, per source shard.
+	messages   []uint64
+	bytesMoved []uint64
 }
 
 // New creates a network over the machine's cores.
@@ -65,23 +75,51 @@ func New(mach *machine.Machine, cfg Config) *Network {
 	if cfg.IntraNodeLatency < 0 || cfg.InterNodeLatency < 0 {
 		panic("xnet: latencies must be nonnegative")
 	}
-	return &Network{
-		eng:         mach.Engine(),
+	sh := mach.Shards()
+	shards := 1
+	if sh != nil {
+		shards = sh.NumShards()
+	}
+	n := &Network{
 		mach:        mach,
+		sh:          sh,
 		cfg:         cfg,
 		nicFree:     make([]sim.Time, mach.NumNodes()),
-		lastArrival: make(map[[2]int]sim.Time),
+		lastArrival: make([]map[[2]int]sim.Time, shards),
+		messages:    make([]uint64, shards),
+		bytesMoved:  make([]uint64, shards),
 	}
+	for i := range n.lastArrival {
+		n.lastArrival[i] = make(map[[2]int]sim.Time)
+	}
+	return n
 }
 
 // Config returns the link parameters.
 func (n *Network) Config() Config { return n.cfg }
 
-// Messages reports the number of messages sent so far.
-func (n *Network) Messages() uint64 { return n.messages }
+// Machine returns the cluster the network connects.
+func (n *Network) Machine() *machine.Machine { return n.mach }
 
-// BytesMoved reports the total payload bytes sent so far.
-func (n *Network) BytesMoved() uint64 { return n.bytesMoved }
+// Messages reports the number of messages sent so far. Coordinator
+// context only when sharded (it sums per-shard counts).
+func (n *Network) Messages() uint64 {
+	var total uint64
+	for _, v := range n.messages {
+		total += v
+	}
+	return total
+}
+
+// BytesMoved reports the total payload bytes sent so far. Coordinator
+// context only when sharded.
+func (n *Network) BytesMoved() uint64 {
+	var total uint64
+	for _, v := range n.bytesMoved {
+		total += v
+	}
+	return total
+}
 
 // Send schedules delivery of a message of the given payload size from
 // srcCore to dstCore and invokes deliver at the arrival instant.
@@ -90,7 +128,8 @@ func (n *Network) Send(srcCore, dstCore, bytes int, deliver func()) sim.Time {
 	if bytes < 0 {
 		panic(fmt.Sprintf("xnet: negative message size %d", bytes))
 	}
-	now := n.eng.Now()
+	srcEng := n.mach.EngineFor(srcCore)
+	now := srcEng.Now()
 	srcNode := n.mach.NodeOf(srcCore)
 	dstNode := n.mach.NodeOf(dstCore)
 
@@ -108,14 +147,25 @@ func (n *Network) Send(srcCore, dstCore, bytes int, deliver func()) sim.Time {
 		arrival = start + xfer + sim.Time(n.cfg.InterNodeLatency)
 	}
 
+	srcShard := n.mach.ShardOf(srcCore)
 	key := [2]int{srcCore, dstCore}
-	if last := n.lastArrival[key]; arrival < last {
+	la := n.lastArrival[srcShard]
+	if last := la[key]; arrival < last {
 		arrival = last
 	}
-	n.lastArrival[key] = arrival
+	la[key] = arrival
 
-	n.messages++
-	n.bytesMoved += uint64(bytes)
-	n.eng.At(arrival, deliver)
+	n.messages[srcShard]++
+	n.bytesMoved[srcShard] += uint64(bytes)
+	if n.sh != nil {
+		if dstShard := n.mach.ShardOf(dstCore); dstShard != srcShard {
+			// Inter-node by construction (shards never split a node), so
+			// arrival >= now + InterNodeLatency: the coordinator's lookahead
+			// guarantee holds for every cross-shard delivery.
+			n.sh.Cross(srcShard, dstShard, arrival, deliver)
+			return arrival
+		}
+	}
+	srcEng.At(arrival, deliver)
 	return arrival
 }
