@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint race check bench benchjson determinism verify-results figures metrics-smoke serve-smoke
+.PHONY: build test vet lint race check bench benchjson determinism verify-results figures metrics-smoke serve-smoke net-smoke
 
 build:
 	$(GO) build ./...
@@ -39,7 +39,7 @@ lint: vet
 race:
 	$(GO) test -race ./...
 
-check: build lint test race bench serve-smoke determinism
+check: build lint test race bench serve-smoke net-smoke determinism
 
 # Benchmark smoke: every benchmark runs exactly one iteration. Catches
 # bench bodies that rot (they only compile under -bench) without paying
@@ -76,6 +76,23 @@ metrics-smoke:
 	done; \
 	echo "metrics-smoke: export OK ($$(echo "$$out" | grep -c '^[a-z]') samples)"
 
+# Network smoke: one lossy straggler-link scenario with the Prometheus
+# export on stderr, asserting the unreliable-network series are present
+# and that the seeded lottery actually lost transmissions. Catches wiring
+# rot between the -droppct/-straggle/-netseed flags, Scenario.Net and the
+# xnet instrumentation in seconds.
+net-smoke:
+	@out=$$($(GO) run ./cmd/lbsim -app wave2d -cores 8 -strategy refine -bg \
+		-droppct 20 -straggle 1:4 -netseed 7 -scale 0.1 -metrics - 2>&1 >/dev/null); \
+	if [ -z "$$out" ]; then echo "net-smoke: empty -metrics output"; exit 1; fi; \
+	for series in xnet_drops_total xnet_retransmits_total xnet_link_busy_seconds; do \
+		echo "$$out" | grep -q "^$$series " || { \
+			echo "net-smoke: series $$series missing from export"; exit 1; }; \
+	done; \
+	drops=$$(echo "$$out" | sed -n 's/^xnet_drops_total //p'); \
+	case "$$drops" in ''|0) echo "net-smoke: no drops at -droppct 20 (got '$$drops')"; exit 1;; esac; \
+	echo "net-smoke: unreliable network OK ($$drops drops)"
+
 # Telemetry smoke: boot lbsim with the embedded server on a free port,
 # scrape every JSON/Prometheus endpoint while -serve-wait holds the run
 # open, and assert the acceptance series/fields answer. Catches wiring
@@ -109,13 +126,16 @@ serve-smoke:
 	echo "serve-smoke: all endpoints OK on $$addr"
 
 # Regenerate the committed results/ tree (byte-identical at any -parallel).
-# Figure 5 is the elasticity extension and stays out of "-fig all" so the
-# paper figures regenerate unchanged; it gets its own invocation.
+# Figures 5 (elasticity) and 6 (network interference) are the cloud
+# extensions and stay out of "-fig all" so the paper figures regenerate
+# unchanged; each gets its own invocation.
 figures:
 	$(GO) run ./cmd/figures -fig all -cores 4,8,16,32 -seeds 3 -scale 1.0 \
 		-csv results -plots results -parallel 0 > results/figures_full.txt
 	$(GO) run ./cmd/figures -fig 5 -seeds 3 -scale 1.0 \
 		-csv results -parallel 0 > results/fig5.txt
+	$(GO) run ./cmd/figures -fig 6 -seeds 3 -scale 1.0 \
+		-csv results -parallel 0 > results/fig6.txt
 
 # Regenerate the full results/ tree into a temp dir and diff it against
 # the committed files, twice: once on the classic single engine and once
@@ -132,7 +152,9 @@ verify-results:
 			-shards $$shards -csv "$$tmp" -plots "$$tmp" -parallel 0 > "$$tmp/figures_full.txt" && \
 		$(GO) run ./cmd/figures -fig 5 -seeds 3 -scale 1.0 \
 			-shards $$shards -csv "$$tmp" -parallel 0 > "$$tmp/fig5.txt" && \
-		sed -i "s|$$tmp|results|g" "$$tmp/figures_full.txt" "$$tmp/fig5.txt" && \
+		$(GO) run ./cmd/figures -fig 6 -seeds 3 -scale 1.0 \
+			-shards $$shards -csv "$$tmp" -parallel 0 > "$$tmp/fig6.txt" && \
+		sed -i "s|$$tmp|results|g" "$$tmp/figures_full.txt" "$$tmp/fig5.txt" "$$tmp/fig6.txt" && \
 		diff -r --exclude=README.md results "$$tmp" && \
 		echo "results/ reproduced byte-identical at -shards $$shards" || \
 		{ rm -rf "$$tmp"; exit 1; }; \

@@ -27,6 +27,7 @@ import (
 	"cloudlb/internal/profiling"
 	"cloudlb/internal/runner"
 	"cloudlb/internal/sim"
+	"cloudlb/internal/xnet"
 )
 
 // fig2Chart builds the grouped-bar version of a Figure 2 panel.
@@ -76,7 +77,7 @@ func fig4Chart(kind experiment.AppKind, evals []experiment.Eval) plot.BarChart {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1, 2a, 2b, 2c, 3, 4a, 4b, 4c, 5, sweep, compare, all (5, the elasticity extension, is opt-in)")
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 2a, 2b, 2c, 3, 4a, 4b, 4c, 5, 6, sweep, compare, all (5 and 6, the cloud extensions, are opt-in)")
 	scale := flag.Float64("scale", 1.0, "iteration-count scale factor (smaller = faster)")
 	seedN := flag.Int("seeds", 3, "number of seeds to average over (the paper uses 3 runs)")
 	coresFlag := flag.String("cores", "4,8,16,32", "comma-separated core counts")
@@ -86,6 +87,9 @@ func main() {
 	width := flag.Int("width", 100, "ASCII timeline width")
 	parallel := flag.Int("parallel", 0, "concurrent scenario workers (0 = GOMAXPROCS); any value produces identical output")
 	shardsFlag := flag.String("shards", "1", "event-scheduler shards per scenario: 1 = classic single engine, N = parallel node shards, auto = one per node up to GOMAXPROCS; any value produces identical output")
+	dropPct := flag.Float64("droppct", 0, "percentage of inter-node transmissions lost and retransmitted in every scenario (0 = reliable; figure 6 sweeps its own drop axis)")
+	straggle := flag.String("straggle", "", "straggler nodes and slowdown factor, NODES:FACTOR (e.g. \"1,3:4\"), applied to every scenario")
+	netSeed := flag.Int64("netseed", 0, "seed of the packet-drop lottery")
 	benchJSON := flag.String("benchjson", "", "run the engine and figure benchmarks, write JSON results to this path, and exit")
 	prof := profiling.RegisterFlags(flag.CommandLine)
 	flag.Parse()
@@ -118,6 +122,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(2)
 	}
+	stragNodes, stragFactor, err := experiment.ParseStraggle(*straggle)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(2)
+	}
+	netCfg := xnet.Config{DropPct: *dropPct, Seed: *netSeed}
+	if len(stragNodes) > 0 {
+		netCfg.StragglerNodes = stragNodes
+		netCfg.StragglerFactor = stragFactor
+	}
 	seeds := make([]int64, *seedN)
 	for i := range seeds {
 		seeds[i] = int64(i + 1)
@@ -133,7 +147,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
 	pool := &runner.Pool{Workers: *parallel, Metrics: prof.Registry(), Progress: prof.Tracker()}
-	opts := experiment.Options{Executor: pool.Executor(), Metrics: prof.Registry(), LBTimeline: prof.Timeline(), Shards: shards}
+	opts := experiment.Options{Executor: pool.Executor(), Metrics: prof.Registry(), LBTimeline: prof.Timeline(), Shards: shards, Net: netCfg}
 	start := time.Now()
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "figures:", err)
@@ -187,6 +201,42 @@ func main() {
 			tab.Write(os.Stdout)
 			if *csvDir != "" {
 				path := filepath.Join(*csvDir, "fig5_wave2d.csv")
+				out, err := os.Create(path)
+				if err != nil {
+					fail(err)
+				}
+				if err := tab.WriteCSV(out); err != nil {
+					fail(err)
+				}
+				out.Close()
+				fmt.Printf("wrote %s\n", path)
+			}
+			fmt.Println()
+		case f == "6" || f == "net":
+			// Extension beyond the paper: network interference, the cloud
+			// counterpart of Figure 2's CPU interference. The interfered
+			// Fig. 2 workload runs a drop% x straggler sweep per strategy;
+			// penalties are against the same strategy's run on the reliable
+			// uniform network, so the added cost of the degraded network —
+			// including the balancer's own migration traffic crossing it —
+			// is isolated from the CPU-interference cost.
+			const netCores = 8
+			fmt.Printf("Figure 6: timing penalty of network interference (Wave2D, %d cores, interfered)\n", netCores)
+			fmt.Printf("drop %% x straggler sweep; the straggler is the allocation's last node, its links get latency x factor and bandwidth / factor\n")
+			evals, err := experiment.Spec{
+				App: experiment.Wave2D, Cores: []int{netCores}, Seeds: seeds, Scale: *scale,
+				Strategies:      []experiment.StrategyKind{experiment.NoLB, experiment.Refine},
+				DropPcts:        []float64{0, 2, 10},
+				StraggleFactors: []float64{1, 16},
+				Net:             netCfg,
+			}.NetworkInterference(ctx, opts)
+			if err != nil {
+				fail(err)
+			}
+			tab := experiment.Fig6Table(evals)
+			tab.Write(os.Stdout)
+			if *csvDir != "" {
+				path := filepath.Join(*csvDir, "fig6_wave2d.csv")
 				out, err := os.Create(path)
 				if err != nil {
 					fail(err)

@@ -33,6 +33,7 @@ import (
 	"cloudlb/internal/sim"
 	"cloudlb/internal/stats"
 	"cloudlb/internal/trace"
+	"cloudlb/internal/xnet"
 )
 
 // parsePreempt parses the -preempt flag: comma-separated
@@ -87,6 +88,9 @@ func main() {
 	hier := flag.Bool("hier", false, "use the hierarchical (tree) LB gather instead of the flat gather")
 	shards := flag.String("shards", "1", "event-scheduler shards per run: 1 = classic single engine, N = parallel node shards, auto = one per node up to GOMAXPROCS (results are identical at any value)")
 	preempt := flag.String("preempt", "", "core revocation schedule, comma-separated pe:at:warning:restore:core entries (restore 0 = never, core -1 = original core)")
+	dropPct := flag.Float64("droppct", 0, "percentage of inter-node transmissions lost and retransmitted (0 = reliable network)")
+	straggle := flag.String("straggle", "", "straggler nodes and slowdown factor, NODES:FACTOR (e.g. \"1,3:4\"): their links get latency x factor, bandwidth / factor")
+	netSeed := flag.Int64("netseed", 0, "seed of the packet-drop lottery (deterministic per seed at any shard count)")
 	prof := profiling.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -144,6 +148,17 @@ func main() {
 		os.Exit(2)
 	}
 
+	stragNodes, stragFactor, err := experiment.ParseStraggle(*straggle)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbsim:", err)
+		os.Exit(2)
+	}
+	netCfg := xnet.Config{DropPct: *dropPct, Seed: *netSeed}
+	if len(stragNodes) > 0 {
+		netCfg.StragglerNodes = stragNodes
+		netCfg.StragglerFactor = stragFactor
+	}
+
 	seeds := make([]int64, *runs)
 	for i := range seeds {
 		seeds[i] = *seed + int64(i)
@@ -158,6 +173,7 @@ func main() {
 		Scale:        *scale,
 		Hierarchical: *hier,
 		Faults:       faults,
+		Net:          netCfg,
 		Shards:       nShards,
 	}
 	switch {
@@ -201,6 +217,10 @@ func main() {
 		fmt.Printf("energy:         %.1f J\n", res.EnergyJ)
 		fmt.Printf("LB steps:       %d\n", res.LBSteps)
 		fmt.Printf("migrations:     %d\n", res.Migrations)
+		if !netCfg.IsZero() {
+			fmt.Printf("net drops:      %d (%d retransmits, drop %.3g%%, seed %d)\n",
+				res.NetDrops, res.NetRetransmits, *dropPct, *netSeed)
+		}
 		if len(faults) > 0 {
 			fmt.Printf("evacuations:    %d (schedule of %d revocations)\n", res.Evacuations, len(faults))
 		}

@@ -45,12 +45,17 @@ func detRun(t *testing.T, shards int) (Result, map[string]float64, uint64) {
 //     on the sending shard, released on the delivering one), so reuse hit
 //     rates depend on the partition.
 //   - charm_lb_strategy_wall_seconds_total: host wall-clock time.
+//   - xnet_link_busy_seconds: a float sum whose per-shard partial sums
+//     group differently with the shard count, so the total drifts by
+//     ulps. The integer series (xnet_drops_total, xnet_retransmits_total)
+//     are compared exactly.
 func metricValues(reg *metrics.Registry) map[string]float64 {
 	vals := make(map[string]float64)
 	for _, s := range reg.Gather().Series {
 		if s.Name == "sim_event_heap_depth_max" ||
 			s.Name == "charm_messages_pooled_total" ||
 			s.Name == "charm_lb_strategy_wall_seconds_total" ||
+			s.Name == "xnet_link_busy_seconds" ||
 			strings.HasPrefix(s.Name, "sim_shard_") {
 			continue
 		}
@@ -109,6 +114,53 @@ func TestShardedDeterminism(t *testing.T) {
 			}
 		}
 		runtime.GOMAXPROCS(prev)
+	}
+}
+
+// TestShardedDeterminismLossyNet extends the contract to the unreliable
+// network: seeded drops, retransmits and a straggler node must reproduce
+// bit for bit at every shard count — the drop lottery is a pure hash of
+// per-pair sequence numbers owned by the sending shard, so neither the
+// partition nor goroutine interleaving can change which transmissions
+// are lost.
+func TestShardedDeterminismLossyNet(t *testing.T) {
+	lossy := func(shards int) (Result, map[string]float64, uint64) {
+		rec := trace.NewRecorder()
+		reg := metrics.NewRegistry()
+		res := Run(Scenario{
+			App: Wave2D, Cores: 32, Strategy: Refine, BG: BGWave2D,
+			Seed: 7, Scale: 0.1, Shards: shards,
+			Net: xnet.Config{
+				DropPct: 2, Seed: 9,
+				StragglerNodes: []int{1}, StragglerFactor: 4,
+			},
+			Trace: rec, Metrics: reg,
+		})
+		return res, metricValues(reg), traceHash(rec)
+	}
+	base, baseVals, baseHash := lossy(1)
+	if base.NetDrops == 0 {
+		t.Fatal("lossy reference run lost nothing; the matrix would prove nothing")
+	}
+	for _, n := range []int{2, 4, 8} {
+		res, vals, hash := lossy(n)
+		name := fmt.Sprintf("shards=%d", n)
+		if res != base {
+			t.Errorf("%s: Result diverged:\n got %+v\nwant %+v", name, res, base)
+		}
+		if hash != baseHash {
+			t.Errorf("%s: trace hash %x, want %x", name, hash, baseHash)
+		}
+		for k, want := range baseVals {
+			if got, ok := vals[k]; !ok || got != want {
+				t.Errorf("%s: metric %s = %v, want %v", name, k, vals[k], want)
+			}
+		}
+		for k := range vals {
+			if _, ok := baseVals[k]; !ok {
+				t.Errorf("%s: unexpected extra metric %s", name, k)
+			}
+		}
 	}
 }
 

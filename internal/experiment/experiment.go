@@ -87,7 +87,11 @@ func (s StrategyKind) String() string {
 	return "unknown"
 }
 
-func buildStrategy(k StrategyKind, epsFrac float64) core.Strategy {
+// buildStrategy constructs the balancer. interNodeBW is the scenario
+// network's resolved inter-node bandwidth — the migration-cost model must
+// price moves over the same links the runtime actually pays for, not a
+// separate copy of the defaults.
+func buildStrategy(k StrategyKind, epsFrac, interNodeBW float64) core.Strategy {
 	if epsFrac <= 0 {
 		epsFrac = 0.02
 	}
@@ -107,7 +111,7 @@ func buildStrategy(k StrategyKind, epsFrac float64) core.Strategy {
 	case CostAware:
 		return &lb.MigrationCostAwareLB{
 			Inner:          &core.RefineLB{EpsilonFrac: epsFrac},
-			BytesPerSecond: xnet.DefaultConfig().InterNodeBandwidth,
+			BytesPerSecond: interNodeBW,
 		}
 	}
 	panic(fmt.Sprintf("experiment: unknown strategy %d", k))
@@ -164,6 +168,13 @@ type Scenario struct {
 	// applied to the application's runtime (cloud elasticity; see
 	// internal/elastic). Requires an application.
 	Faults elastic.Schedule
+	// Net describes the cluster interconnect: link parameters, per-link
+	// overrides, straggler nodes, seeded packet loss (see xnet.Config).
+	// Zero fields inherit xnet.DefaultConfig via Resolved; the zero value
+	// is exactly today's uniform reliable network. The resolved config is
+	// the single source for both the Network and the sharded scheduler's
+	// conservative lookahead.
+	Net xnet.Config
 	// Trace, when non-nil, records timelines.
 	Trace *trace.Recorder
 	// Metrics, when non-nil, receives the run's telemetry: engine event
@@ -206,6 +217,11 @@ type Result struct {
 	// Events is the number of simulation events the run executed — the
 	// engine-level work metric behind throughput reporting.
 	Events uint64
+	// NetDrops and NetRetransmits count inter-node transmissions lost to
+	// the seeded drop lottery and the retransmissions that recovered them
+	// (0 on a reliable network).
+	NetDrops       uint64
+	NetRetransmits uint64
 }
 
 // testbedCores is the testbed's total core count.
@@ -240,6 +256,32 @@ func ParseShards(v string) (int, error) {
 		return 0, fmt.Errorf("experiment: -shards must be a non-negative integer or \"auto\", got %q", v)
 	}
 	return n, nil
+}
+
+// ParseStraggle parses a -straggle command-line value "NODES:FACTOR" —
+// comma-separated straggler node IDs and the latency/bandwidth slowdown
+// factor applied to every inter-node link touching them, e.g. "1:4" or
+// "1,3:2.5". An empty value means no stragglers.
+func ParseStraggle(v string) (nodes []int, factor float64, err error) {
+	if v == "" {
+		return nil, 1, nil
+	}
+	parts := strings.Split(v, ":")
+	if len(parts) != 2 {
+		return nil, 0, fmt.Errorf("experiment: -straggle must be NODES:FACTOR (e.g. \"1,3:4\"), got %q", v)
+	}
+	for _, f := range strings.Split(parts[0], ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 0 {
+			return nil, 0, fmt.Errorf("experiment: bad -straggle node %q", f)
+		}
+		nodes = append(nodes, n)
+	}
+	factor, err = strconv.ParseFloat(parts[1], 64)
+	if err != nil || factor <= 0 {
+		return nil, 0, fmt.Errorf("experiment: bad -straggle factor %q (must be positive)", parts[1])
+	}
+	return nodes, factor, nil
 }
 
 // resolveShards maps the Scenario.Shards knob to a concrete shard count:
@@ -279,7 +321,11 @@ func Run(s Scenario) Result {
 		panic("experiment: AppNone requires the Wave2D background job (it is the thing being measured)")
 	}
 
-	netCfg := xnet.DefaultConfig()
+	// One resolved network config drives everything network-shaped in the
+	// run: the Network itself, the sharded scheduler's lookahead, and the
+	// migration-cost model's bandwidth. (Two independent DefaultConfig()
+	// calls here and in helpers.go once let those silently diverge.)
+	netCfg := s.Net.Resolved()
 	nShards := resolveShards(s.Shards, testbedNodes)
 
 	var (
@@ -290,10 +336,12 @@ func Run(s Scenario) Result {
 	// should fail loudly instead of spinning; real scenarios stay well
 	// under this limit.
 	if nShards > 1 {
-		// Conservative lookahead = the minimum inter-node latency: every
-		// cross-node delivery lands at least this far in the sender's
-		// future, which is what lets shards burn a window in parallel.
-		sh = sim.NewShards(nShards, sim.Time(netCfg.InterNodeLatency))
+		// Conservative lookahead = the minimum effective inter-node
+		// latency of this scenario's network: every cross-node delivery
+		// lands at least this far in the sender's future, which is what
+		// lets shards burn a window in parallel. xnet.New re-validates the
+		// invariant against the same config.
+		sh = sim.NewShards(nShards, sim.Time(netCfg.MinInterNodeLatency(testbedNodes)))
 		defer sh.Close()
 		sh.SetEventLimit(2_000_000_000)
 		sh.SetMetrics(s.Metrics)
@@ -315,6 +363,7 @@ func Run(s Scenario) Result {
 	}
 	mach := testbed(eng, sh, s.InteractivityBonus, s.Metrics)
 	net := xnet.New(mach, netCfg)
+	net.SetMetrics(s.Metrics)
 	rng := rand.New(rand.NewSource(s.Seed*2654435761 + 12345))
 
 	var appRTS *charm.RTS
@@ -334,7 +383,7 @@ func Run(s Scenario) Result {
 		}
 		appRTS = charm.NewRTS(charm.Config{
 			Machine: mach, Net: net, Cores: cores,
-			Strategy:       buildStrategy(s.Strategy, s.EpsilonFrac),
+			Strategy:       buildStrategy(s.Strategy, s.EpsilonFrac, netCfg.InterNodeBandwidth),
 			Placement:      placement,
 			HierarchicalLB: s.Hierarchical,
 			Trace:          s.Trace,
@@ -447,6 +496,7 @@ func Run(s Scenario) Result {
 		panic(fmt.Sprintf("experiment: scenario %+v did not finish by t=%v", s, s.MaxVirtualTime))
 	}
 	mach.PublishMetrics()
+	net.PublishMetrics()
 
 	res := Result{AppWall: math.NaN(), BGWall: math.NaN()}
 	if appRTS != nil {
@@ -460,6 +510,8 @@ func Run(s Scenario) Result {
 	}
 	res.AvgPowerW = meter.AveragePowerWatts()
 	res.EnergyJ = meter.EnergyJoules()
+	res.NetDrops = net.Drops()
+	res.NetRetransmits = net.Retransmits()
 	if sh != nil {
 		res.Events = sh.Executed()
 	} else {

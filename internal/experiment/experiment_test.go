@@ -6,6 +6,7 @@ import (
 
 	"cloudlb/internal/sim"
 	"cloudlb/internal/trace"
+	"cloudlb/internal/xnet"
 )
 
 // quickScale keeps tests fast; scaleIters clamps at 2*syncEvery=20 iters.
@@ -326,7 +327,7 @@ func TestGridShapeFactors(t *testing.T) {
 
 func TestStrategyKindsBuild(t *testing.T) {
 	for _, k := range []StrategyKind{NoLB, Refine, RefineInternal, RefineSwap, Greedy, Threshold, CostAware} {
-		if k != NoLB && buildStrategy(k, 0) == nil {
+		if k != NoLB && buildStrategy(k, 0, xnet.DefaultConfig().InterNodeBandwidth) == nil {
 			t.Fatalf("strategy %v built nil", k)
 		}
 		if k.String() == "unknown" {

@@ -12,8 +12,12 @@ import (
 	"cloudlb/internal/xnet"
 )
 
+// newNet builds the helper scenarios' network through the same resolution
+// path as Run (a zero Config resolved to the defaults), so there is no
+// second hardcoded copy of the parameters to drift from the lookahead
+// derivation.
 func newNet(m *machine.Machine) *xnet.Network {
-	return xnet.New(m, xnet.DefaultConfig())
+	return xnet.New(m, xnet.Config{}.Resolved())
 }
 
 func newRNG(seed int64) *rand.Rand {
@@ -23,7 +27,7 @@ func newRNG(seed int64) *rand.Rand {
 func newAppRTS(m *machine.Machine, net *xnet.Network, cores []int, strat StrategyKind, rec *trace.Recorder) *charm.RTS {
 	return charm.NewRTS(charm.Config{
 		Machine: m, Net: net, Cores: cores,
-		Strategy: buildStrategy(strat, 0),
+		Strategy: buildStrategy(strat, 0, net.Config().InterNodeBandwidth),
 		Trace:    rec,
 		Name:     "app",
 	})

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"cloudlb/internal/metrics"
+	"cloudlb/internal/xnet"
 )
 
 // Options configures how a Spec evaluation dispatches its scenario batch
@@ -40,11 +41,14 @@ type Options struct {
 	// Scenario.Shards: N>1 sharded, -1 auto). Results are identical at
 	// any value; only wall-clock time changes.
 	Shards int
+	// Net, when non-zero, is the cluster interconnect for every scenario
+	// in the batch that doesn't carry its own (see Scenario.Net).
+	Net xnet.Config
 }
 
 // run instruments the batch per the options and dispatches it.
 func (o Options) run(ctx context.Context, batch []Scenario) ([]Result, error) {
-	if o.Metrics != nil || o.LBTimeline != nil || o.Shards != 0 {
+	if o.Metrics != nil || o.LBTimeline != nil || o.Shards != 0 || !o.Net.IsZero() {
 		for i := range batch {
 			if o.Metrics != nil && batch[i].Metrics == nil {
 				batch[i].Metrics = o.Metrics
@@ -54,6 +58,9 @@ func (o Options) run(ctx context.Context, batch []Scenario) ([]Result, error) {
 			}
 			if o.Shards != 0 && batch[i].Shards == 0 {
 				batch[i].Shards = o.Shards
+			}
+			if !o.Net.IsZero() && batch[i].Net.IsZero() {
+				batch[i].Net = o.Net
 			}
 		}
 	}

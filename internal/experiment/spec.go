@@ -7,6 +7,7 @@ import (
 	"cloudlb/internal/elastic"
 	"cloudlb/internal/sim"
 	"cloudlb/internal/stats"
+	"cloudlb/internal/xnet"
 )
 
 // Spec is the single scenario description behind every evaluation entry
@@ -44,6 +45,10 @@ type Spec struct {
 	Faults             elastic.Schedule
 	MaxVirtualTime     sim.Time
 
+	// Net is the cluster interconnect every expanded scenario runs over
+	// (see Scenario.Net; the zero value is the uniform reliable default).
+	Net xnet.Config
+
 	// Shards selects the event scheduler for every expanded scenario
 	// (see Scenario.Shards: 0/1 classic, N>1 sharded, -1 auto).
 	Shards int
@@ -51,6 +56,12 @@ type Spec struct {
 	// Sweep axes for SweepRefineParams.
 	EpsFracs []float64
 	Periods  []int
+
+	// Sweep axes for NetworkInterference: drop percentages and straggler
+	// slowdown factors. Both must start at the reliable-uniform point
+	// (0 and 1) so every cell has its baseline.
+	DropPcts        []float64
+	StraggleFactors []float64
 }
 
 func (sp Spec) scale() float64 {
@@ -99,6 +110,7 @@ func (sp Spec) Scenarios() []Scenario {
 					Hierarchical:       sp.Hierarchical,
 					Faults:             sp.Faults,
 					MaxVirtualTime:     sp.MaxVirtualTime,
+					Net:                sp.Net,
 					Shards:             sp.Shards,
 				})
 			}

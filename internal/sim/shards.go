@@ -285,7 +285,18 @@ func (s *Shards) Sequential() bool { return s.forced || s.seqDemand.Load() > 0 }
 // coordinator context (merged mode, global events, construction) it
 // schedules directly, which preserves the same canonical order because
 // those contexts are single-threaded.
+//
+// The conservative contract requires at >= src's now + lookahead; a
+// violation means some network path charges less latency than the
+// lookahead assumes, so the windows are no longer conservative. That is
+// always a construction-time bug (xnet.New validates the matching
+// invariant), so it panics rather than silently corrupting determinism.
 func (s *Shards) Cross(src, dst int, at Time, fn func()) {
+	if min := s.engines[src].Now() + s.lookahead; at < min {
+		panic(fmt.Sprintf(
+			"sim: cross-shard event at %v violates conservative lookahead (shard %d now %v + lookahead %v)",
+			at, src, s.engines[src].Now(), s.lookahead))
+	}
 	if !s.parallel {
 		s.engines[dst].At(at, fn)
 		return
