@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint race check bench benchjson determinism verify-results figures metrics-smoke serve-smoke net-smoke
+.PHONY: build test vet lint race check bench benchjson determinism verify-results figures metrics-smoke serve-smoke net-smoke diffusion-smoke
 
 build:
 	$(GO) build ./...
@@ -39,7 +39,7 @@ lint: vet
 race:
 	$(GO) test -race ./...
 
-check: build lint test race bench serve-smoke net-smoke determinism
+check: build lint test race bench serve-smoke net-smoke diffusion-smoke determinism
 
 # Benchmark smoke: every benchmark runs exactly one iteration. Catches
 # bench bodies that rot (they only compile under -bench) without paying
@@ -59,7 +59,7 @@ benchjson:
 # gate runs without -race (instrumentation perturbs allocation counts);
 # -count=1 defeats the test cache so the gates always execute.
 determinism:
-	$(GO) test -race -count=1 -run 'TestShardedDeterminism|TestShardsAutoResolve' ./internal/experiment
+	$(GO) test -race -count=1 -run 'TestShardedDeterminism|TestDiffusionShardedDeterminism|TestShardsAutoResolve' ./internal/experiment
 	$(GO) test -count=1 -run TestClassicScenarioSteadyStateAllocFree ./internal/experiment
 
 # Metrics smoke: one small Wave2D scenario with the Prometheus export on
@@ -92,6 +92,23 @@ net-smoke:
 	drops=$$(echo "$$out" | sed -n 's/^xnet_drops_total //p'); \
 	case "$$drops" in ''|0) echo "net-smoke: no drops at -droppct 20 (got '$$drops')"; exit 1;; esac; \
 	echo "net-smoke: unreliable network OK ($$drops drops)"
+
+# Diffusion smoke: one small Wave2D scenario under the distributed
+# diffusion balancer with the Prometheus export on stderr, asserting the
+# protocol actually ran (nonzero exchange rounds) and the per-PE
+# planning-state gauges are wired. Catches wiring rot between -strategy
+# diffusion, the charm protocol driver and its instrumentation in
+# seconds, without the full Figure 7 run.
+diffusion-smoke:
+	@out=$$($(GO) run ./cmd/lbsim -app wave2d -cores 8 -strategy diffusion -bg -scale 0.1 -metrics - 2>&1 >/dev/null); \
+	if [ -z "$$out" ]; then echo "diffusion-smoke: empty -metrics output"; exit 1; fi; \
+	for series in charm_lb_rounds_total charm_lb_peak_state_bytes charm_lb_migrations_total; do \
+		echo "$$out" | grep -q "^$$series{" || { \
+			echo "diffusion-smoke: series $$series missing from export"; exit 1; }; \
+	done; \
+	rounds=$$(echo "$$out" | sed -n 's/^charm_lb_rounds_total{[^}]*} //p'); \
+	case "$$rounds" in ''|0) echo "diffusion-smoke: no exchange rounds ran (got '$$rounds')"; exit 1;; esac; \
+	echo "diffusion-smoke: distributed protocol OK ($$rounds rounds)"
 
 # Telemetry smoke: boot lbsim with the embedded server on a free port,
 # scrape every JSON/Prometheus endpoint while -serve-wait holds the run
@@ -136,6 +153,8 @@ figures:
 		-csv results -parallel 0 > results/fig5.txt
 	$(GO) run ./cmd/figures -fig 6 -seeds 3 -scale 1.0 \
 		-csv results -parallel 0 > results/fig6.txt
+	$(GO) run ./cmd/figures -fig 7 -scale 1.0 \
+		-csv results -parallel 0 > results/fig7.txt
 
 # Regenerate the full results/ tree into a temp dir and diff it against
 # the committed files, twice: once on the classic single engine and once
@@ -154,7 +173,9 @@ verify-results:
 			-shards $$shards -csv "$$tmp" -parallel 0 > "$$tmp/fig5.txt" && \
 		$(GO) run ./cmd/figures -fig 6 -seeds 3 -scale 1.0 \
 			-shards $$shards -csv "$$tmp" -parallel 0 > "$$tmp/fig6.txt" && \
-		sed -i "s|$$tmp|results|g" "$$tmp/figures_full.txt" "$$tmp/fig5.txt" "$$tmp/fig6.txt" && \
+		$(GO) run ./cmd/figures -fig 7 -scale 1.0 \
+			-shards $$shards -csv "$$tmp" -parallel 0 > "$$tmp/fig7.txt" && \
+		sed -i "s|$$tmp|results|g" "$$tmp/figures_full.txt" "$$tmp/fig5.txt" "$$tmp/fig6.txt" "$$tmp/fig7.txt" && \
 		diff -r --exclude=README.md results "$$tmp" && \
 		echo "results/ reproduced byte-identical at -shards $$shards" || \
 		{ rm -rf "$$tmp"; exit 1; }; \

@@ -10,6 +10,7 @@ package cloudlb
 import (
 	"context"
 	"fmt"
+	"strings"
 	"testing"
 
 	"cloudlb/internal/core"
@@ -237,6 +238,26 @@ func BenchmarkShardedScheduler(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				nb.Run()
+			}
+		})
+	}
+}
+
+// BenchmarkStrategyPlan times one Strategy.Plan call per planner on
+// synthetic clustered-hotspot snapshots from the paper testbed (32
+// cores) up to the Figure 7 cloud allocation (1024 cores, ~100k tasks).
+// The centralized planners sort or heapify the whole gathered task list;
+// DiffusionLB runs every per-PE planner over only its local tasks and
+// neighbor summaries, so its planning cost scales with the imbalance,
+// not the allocation. RefineSwapLB's quadratic swap search is capped at
+// 256 cores (see experiment.PlanBenchStrategies).
+func BenchmarkStrategyPlan(b *testing.B) {
+	for _, nb := range experiment.StrategyPlanBenchmarks() {
+		run := nb.Run
+		b.Run(strings.TrimPrefix(nb.Name, "StrategyPlan"), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				run()
 			}
 		})
 	}

@@ -177,6 +177,20 @@ func runBenchJSON(path string, workers int) error {
 			})))
 	}
 
+	// The strategy-planning microbenches: one Plan call per op over the
+	// synthetic clustered-hotspot snapshots, up to the Figure 7 cloud
+	// allocation — the planning-cost scaling DiffusionLB exists to fix.
+	for _, nb := range experiment.StrategyPlanBenchmarks() {
+		run := nb.Run
+		report.Benchmarks = append(report.Benchmarks, entry(nb.Name,
+			testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					run()
+				}
+			})))
+	}
+
 	// The sharded-scheduler benches: the same heavyweight scenario at
 	// shard counts {1, 8}, the 8-shard one at GOMAXPROCS 1 (pure window
 	// overhead, no parallel hardware) and again at GOMAXPROCS >= 8 (the

@@ -77,7 +77,7 @@ func fig4Chart(kind experiment.AppKind, evals []experiment.Eval) plot.BarChart {
 }
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 1, 2a, 2b, 2c, 3, 4a, 4b, 4c, 5, 6, sweep, compare, all (5 and 6, the cloud extensions, are opt-in)")
+	fig := flag.String("fig", "all", "figure to regenerate: 1, 2a, 2b, 2c, 3, 4a, 4b, 4c, 5, 6, 7, sweep, compare, all (5-7, the cloud extensions, are opt-in)")
 	scale := flag.Float64("scale", 1.0, "iteration-count scale factor (smaller = faster)")
 	seedN := flag.Int("seeds", 3, "number of seeds to average over (the paper uses 3 runs)")
 	coresFlag := flag.String("cores", "4,8,16,32", "comma-separated core counts")
@@ -246,6 +246,38 @@ func main() {
 				}
 				out.Close()
 				fmt.Printf("wrote %s\n", path)
+			}
+			fmt.Println()
+		case f == "7" || f == "diffusion":
+			// Extension beyond the paper: load balancing at cloud scale.
+			// The interfered Wave2D workload at 1024 cores / ~100k chares,
+			// DiffusionLB's distributed neighbor-exchange protocol against
+			// the centralized refiners (flat and tree gather). The table is
+			// fully deterministic; the host-time planning cost — the number
+			// the distributed protocol exists to shrink — is machine-
+			// dependent and goes to stderr.
+			fmt.Println("Figure 7: load balancing at cloud scale (Wave2D, 1024 cores, ~100k chares, interfered)")
+			fmt.Println("distributed diffusion vs centralized refinement; peak state B is the largest per-PE LB planning state")
+			evals, err := experiment.Fig7(ctx, opts, *scale)
+			if err != nil {
+				fail(err)
+			}
+			tab := experiment.Fig7Table(evals)
+			tab.Write(os.Stdout)
+			if *csvDir != "" {
+				path := filepath.Join(*csvDir, "fig7_wave2d.csv")
+				out, err := os.Create(path)
+				if err != nil {
+					fail(err)
+				}
+				if err := tab.WriteCSV(out); err != nil {
+					fail(err)
+				}
+				out.Close()
+				fmt.Printf("wrote %s\n", path)
+			}
+			for _, e := range evals {
+				fmt.Fprintf(os.Stderr, "figures: fig7 %-14s Strategy.Plan host time %.3fs\n", e.Label, e.PlanHostSeconds)
 			}
 			fmt.Println()
 		case f == "sweep":

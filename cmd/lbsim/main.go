@@ -74,8 +74,8 @@ func parsePreempt(s string) (elastic.Schedule, error) {
 
 func main() {
 	app := flag.String("app", "wave2d", "application: jacobi2d, wave2d, mol3d")
-	cores := flag.Int("cores", 8, "cores to run on (multiple of 4, up to 32)")
-	strategy := flag.String("strategy", "refine", "load balancer: none, refine, refineinternal, refineswap, greedy, threshold, costaware")
+	cores := flag.Int("cores", 8, "cores to run on (multiple of 4; above 32 the cluster grows one node per 4 cores)")
+	strategy := flag.String("strategy", "refine", "load balancer: none, refine, refineinternal, refineswap, greedy, threshold, costaware, diffusion")
 	bg := flag.Bool("bg", false, "run the 2-core Wave2D background job on the last two cores")
 	churn := flag.Bool("churn", false, "multi-tenant churn interference across all cores (instead of -bg)")
 	bgWeight := flag.Float64("bgweight", 1, "OS scheduling weight of the background job")
@@ -86,6 +86,8 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "iteration-count scale factor")
 	chromePath := flag.String("chrome", "", "write a Chrome trace-event JSON of the run to this path (single run only)")
 	hier := flag.Bool("hier", false, "use the hierarchical (tree) LB gather instead of the flat gather")
+	diffRounds := flag.Int("diffrounds", 0, "DiffusionLB: max neighbor-exchange rounds per LB step (0 = default 16)")
+	diffTol := flag.Float64("difftol", 0, "DiffusionLB: convergence band as a fraction of the average load (0 = default 0.05)")
 	shards := flag.String("shards", "1", "event-scheduler shards per run: 1 = classic single engine, N = parallel node shards, auto = one per node up to GOMAXPROCS (results are identical at any value)")
 	preempt := flag.String("preempt", "", "core revocation schedule, comma-separated pe:at:warning:restore:core entries (restore 0 = never, core -1 = original core)")
 	dropPct := flag.Float64("droppct", 0, "percentage of inter-node transmissions lost and retransmitted (0 = reliable network)")
@@ -118,6 +120,7 @@ func main() {
 		"greedy":         experiment.Greedy,
 		"threshold":      experiment.Threshold,
 		"costaware":      experiment.CostAware,
+		"diffusion":      experiment.Diffusion,
 	}[strings.ToLower(*strategy)]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "lbsim: unknown strategy %q\n", *strategy)
@@ -171,6 +174,8 @@ func main() {
 		BGWeight:     *bgWeight,
 		BGIters:      *bgIters,
 		Scale:        *scale,
+		DiffRounds:   *diffRounds,
+		DiffTol:      *diffTol,
 		Hierarchical: *hier,
 		Faults:       faults,
 		Net:          netCfg,

@@ -201,6 +201,15 @@ type RTS struct {
 
 	lb lbState
 
+	// Distributed LB wiring: dist is the DistributedStrategy view of
+	// cfg.Strategy (nil when the strategy plans centrally), distNbr caches
+	// every PE's topology neighbor list, distLB is PE 0's readiness state
+	// and distInstr the in-flight step's telemetry.
+	dist      core.DistributedStrategy
+	distNbr   [][]int
+	distLB    distMasterState
+	distInstr *distStepInstr
+
 	// Quiescence detection state. netInflight counts in-flight runtime
 	// messages in one slot per shard (a single slot when unsharded): the
 	// send side increments the source shard's slot and the delivery side
@@ -331,6 +340,22 @@ func NewRTS(cfg Config) *RTS {
 	r.outsScratch = make([][]core.Move, len(r.pes))
 	r.insScratch = make([]int, len(r.pes))
 	r.childrenMemo = make([][]int, len(r.pes))
+	if ds, ok := cfg.Strategy.(core.DistributedStrategy); ok {
+		if cfg.HierarchicalLB {
+			panic("charm: a DistributedStrategy plans in place of the gather; HierarchicalLB does not apply")
+		}
+		r.dist = ds
+		r.distNbr = make([][]int, len(r.pes))
+		for i := range r.pes {
+			nbr := ds.Neighbors(i, len(r.pes))
+			for _, q := range nbr {
+				if q < 0 || q >= len(r.pes) || q == i {
+					panic(fmt.Sprintf("charm: strategy lists invalid neighbor %d for PE %d", q, i))
+				}
+			}
+			r.distNbr[i] = nbr
+		}
+	}
 	r.met = newRTSMetrics(cfg.Metrics, cfg.LBTimeline, cfg.Name, len(r.pes))
 	return r
 }

@@ -229,7 +229,7 @@ func (r *RTS) evacuatePE(p *pe) {
 	// Report the (empty, offline-flagged) measurement so the master's
 	// count can total up; without it the step would wait forever.
 	if r.cfg.Strategy != nil && !p.sentStats && !p.inSync && r.lbBusy() {
-		p.enterSync()
+		p.syncReport()
 	}
 	p.pump()
 }

@@ -97,6 +97,10 @@ func (p *pe) maybeEnterSync(self ChareID) {
 		p.hierOnLocalSynced()
 		return
 	}
+	if p.rts.dist != nil {
+		p.distEnterSync()
+		return
+	}
 	p.enterSync()
 }
 
@@ -216,11 +220,7 @@ func (r *RTS) nonEmptyPEs() int {
 func (r *RTS) probeEmpty(p *pe) {
 	master := r.pes[0]
 	r.netSend(master.core.ID, p.core.ID, probeBytes, func() {
-		p.enqueueSys(func() {
-			if !p.inSync {
-				p.enterSync()
-			}
-		})
+		p.enqueueSys(func() { p.syncReport() })
 	})
 }
 
@@ -240,6 +240,11 @@ func (r *RTS) planMoves(stats *core.Stats, wallSince sim.Time) (outs [][]core.Mo
 	if err := core.Validate(*stats); err != nil {
 		panic(fmt.Sprintf("charm: invalid LB stats: %v", err))
 	}
+
+	// The centralized gather concentrates O(all tasks) planning state on
+	// the master; record it against the same per-PE high-water series the
+	// distributed protocol feeds, so Figure 7 can compare the two shapes.
+	r.met.peakState(0, statsMsgBase+r.cfg.StatsBytesPerTask*len(stats.Tasks)+32*len(stats.Cores))
 
 	// instr is nil unless metrics or an LB timeline are attached; all its
 	// methods are nil-safe, so the uninstrumented path stays unchanged.

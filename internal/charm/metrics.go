@@ -24,6 +24,7 @@ type rtsMetrics struct {
 	msgsPooled   *metrics.Counter
 	atSync       *metrics.Counter
 	lbSteps      *metrics.Counter
+	lbRounds     *metrics.Counter
 	movesPlanned *metrics.Counter
 	migrations   *metrics.Counter
 	evacuations  *metrics.Counter
@@ -34,6 +35,12 @@ type rtsMetrics struct {
 	peTask       []*metrics.FloatCounter
 	peLoadBefore []*metrics.Gauge
 	peLoadAfter  []*metrics.Gauge
+	// pePeakState tracks the high-water bytes of LB planning state each PE
+	// held: gathered stats on the master under a centralized strategy,
+	// planner state everywhere under a distributed one. peakSeen is the
+	// monotone mirror so the gauge only ever rises.
+	pePeakState []*metrics.Gauge
+	peakSeen    []float64
 }
 
 // newRTSMetrics registers this runtime's series. Either reg or tl may be
@@ -53,6 +60,8 @@ func newRTSMetrics(reg *metrics.Registry, tl *metrics.LBTimeline, name string, n
 		"Per-PE AtSync barrier entries (one per PE per LB step).", m.rtsLabel)
 	m.lbSteps = reg.Counter("charm_lb_steps_total",
 		"Completed load balancing steps.", m.rtsLabel)
+	m.lbRounds = reg.Counter("charm_lb_rounds_total",
+		"Neighbor-exchange rounds executed across distributed LB steps.", m.rtsLabel)
 	m.movesPlanned = reg.Counter("charm_lb_moves_planned_total",
 		"Migrations proposed by the strategy, including no-op moves.", m.rtsLabel)
 	m.migrations = reg.Counter("charm_lb_migrations_total",
@@ -65,6 +74,8 @@ func newRTSMetrics(reg *metrics.Registry, tl *metrics.LBTimeline, name string, n
 	m.peTask = make([]*metrics.FloatCounter, numPEs)
 	m.peLoadBefore = make([]*metrics.Gauge, numPEs)
 	m.peLoadAfter = make([]*metrics.Gauge, numPEs)
+	m.pePeakState = make([]*metrics.Gauge, numPEs)
+	m.peakSeen = make([]float64, numPEs)
 	for i := 0; i < numPEs; i++ {
 		pe := metrics.L("pe", strconv.Itoa(i))
 		m.peBackground[i] = reg.FloatCounter("charm_pe_background_seconds_total",
@@ -75,8 +86,21 @@ func newRTSMetrics(reg *metrics.Registry, tl *metrics.LBTimeline, name string, n
 			"Per-PE load (tasks + background) entering the latest LB step.", m.rtsLabel, pe)
 		m.peLoadAfter[i] = reg.Gauge("charm_pe_load_after_seconds",
 			"Per-PE load (tasks + background) after the latest step's moves.", m.rtsLabel, pe)
+		m.pePeakState[i] = reg.Gauge("charm_lb_peak_state_bytes",
+			"High-water bytes of LB planning state held on this PE.", m.rtsLabel, pe)
 	}
 	return m
+}
+
+// peakState raises a PE's planning-state high-water mark.
+func (m *rtsMetrics) peakState(pe, bytes int) {
+	if len(m.pePeakState) == 0 {
+		return
+	}
+	if f := float64(bytes); f > m.peakSeen[pe] {
+		m.peakSeen[pe] = f
+		m.pePeakState[pe].Set(f)
+	}
 }
 
 // enabled reports whether the cold-path LB-step instrumentation (load
@@ -190,6 +214,99 @@ func (in *lbStepInstr) finish(stats *core.Stats) {
 			"Objects migrated at one LB step (one series per step).",
 			m.rtsLabel, metrics.L("step", strconv.Itoa(in.step.Step))).
 			Set(float64(in.applied))
+	}
+	m.timeline.Append(in.step)
+}
+
+// distStepInstr gathers one distributed LB step's telemetry. Unlike
+// lbStepInstr there is no global stats snapshot: per-PE loads arrive with
+// the O(1) ready notes and every applied hand-off adjusts the working
+// vector incrementally. Nil (all methods no-op) when instrumentation is
+// disabled.
+type distStepInstr struct {
+	met          *rtsMetrics
+	step         metrics.LBStep
+	loads        []float64 // working per-PE load vector
+	applied      int
+	strategyWall float64
+}
+
+func (m *rtsMetrics) beginDistStep(stepNo int, now sim.Time, numPEs int) *distStepInstr {
+	if !m.enabled() {
+		return nil
+	}
+	in := &distStepInstr{met: m, loads: make([]float64, numPEs)}
+	in.step = metrics.LBStep{
+		Step:         stepNo,
+		Time:         float64(now),
+		PEBackground: make([]float64, numPEs),
+		PELoadBefore: make([]float64, numPEs),
+	}
+	return in
+}
+
+// ready records one PE's interval measurement from its readiness note.
+func (in *distStepInstr) ready(pe int, load, bg float64) {
+	if in == nil {
+		return
+	}
+	in.loads[pe] = load
+	in.step.PEBackground[pe] = bg
+	in.step.PELoadBefore[pe] = load
+}
+
+// planAdd accumulates one planner invocation's host wall time.
+func (in *distStepInstr) planAdd(d time.Duration) {
+	if in == nil {
+		return
+	}
+	in.strategyWall += d.Seconds()
+}
+
+// peakState forwards a planner's state size to the per-PE high-water mark.
+func (in *distStepInstr) peakState(pe, bytes int) {
+	if in == nil {
+		return
+	}
+	in.met.peakState(pe, bytes)
+}
+
+// moveApplied shifts one hand-off's load in the working vector.
+func (in *distStepInstr) moveApplied(load float64, from, to int) {
+	if in == nil {
+		return
+	}
+	in.applied++
+	in.loads[from] -= load
+	in.loads[to] += load
+}
+
+// finish publishes the step once the root has decided to stop rounding.
+func (in *distStepInstr) finish(rounds int, wallSince sim.Time) {
+	if in == nil {
+		return
+	}
+	m := in.met
+	in.step.WallSinceLB = float64(wallSince)
+	in.step.StrategyWall = in.strategyWall
+	in.step.MovesPlanned = in.applied
+	in.step.MovesApplied = in.applied
+	in.step.PELoadAfter = append([]float64(nil), in.loads...)
+	m.movesPlanned.Add(uint64(in.applied))
+	m.migrations.Add(uint64(in.applied))
+	m.strategyWall.Add(in.strategyWall)
+	if m.reg != nil {
+		for pe := range in.loads {
+			m.peLoadBefore[pe].Set(in.step.PELoadBefore[pe])
+			m.peLoadAfter[pe].Set(in.loads[pe])
+		}
+		step := metrics.L("step", strconv.Itoa(in.step.Step))
+		m.reg.Gauge("charm_lb_step_migrations",
+			"Objects migrated at one LB step (one series per step).",
+			m.rtsLabel, step).Set(float64(in.applied))
+		m.reg.Gauge("charm_lb_step_rounds",
+			"Neighbor-exchange rounds one distributed LB step took.",
+			m.rtsLabel, step).Set(float64(rounds))
 	}
 	m.timeline.Append(in.step)
 }

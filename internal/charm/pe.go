@@ -83,6 +83,10 @@ type pe struct {
 
 	// Hierarchical LB protocol state (Config.HierarchicalLB).
 	hier hierState
+
+	// Distributed LB protocol state (Config.Strategy implementing
+	// core.DistributedStrategy).
+	diff diffState
 }
 
 type appDelivery struct {
@@ -189,6 +193,7 @@ func (p *pe) beginInterval() {
 	clear(p.subtreeMemo)
 	p.subtreeTotalMemo = -1
 	p.hierReset()
+	p.diffReset()
 }
 
 func (p *pe) enqueueApp(to ChareID, data interface{}) {
@@ -291,6 +296,9 @@ func (p *pe) onEntryDone() {
 // messages, reduction contributions, completion, and AtSync.
 func (p *pe) afterEntry(ctx *Ctx) {
 	for _, m := range ctx.sends {
+		if p.rts.dist != nil {
+			p.diffTrackComm(ctx.self, m.to, m.bytes)
+		}
 		p.rts.send(p.index, m.to, m.data, m.bytes)
 	}
 	for _, c := range ctx.contribs {

@@ -1,0 +1,174 @@
+package core
+
+// Distributed load balancing interface: instead of gathering every task
+// record to one PE and planning centrally — O(all tasks) memory and
+// superlinear planning time on the master — a DistributedStrategy runs as
+// a multi-round neighbor-exchange protocol. Each PE holds a
+// DistributedPlanner built from its own measurements only; every round it
+// shares an O(1) PeerLoad summary with its topology neighbors, decides
+// which of its tasks to hand to which neighbor, and absorbs what the
+// neighbors handed it. A tree reduction of TermSamples decides when the
+// rounds stop. Per-PE state stays O(local tasks + neighbors) no matter
+// how large the machine grows.
+//
+// The runtime (internal/charm) drives the protocol over the simulated
+// interconnect; DiffusionLB (internal/lb) also drives the same planners
+// synchronously from Strategy.Plan, so one implementation serves both the
+// in-runtime protocol and offline planning/benchmarks.
+
+// PeerLoad is the O(1) summary a PE shares with its neighbors each round.
+type PeerLoad struct {
+	PE int
+	// Load is the PE's total load in seconds: background plus the sum of
+	// its current tasks' measured loads (including tasks received in
+	// earlier rounds).
+	Load float64
+	// Speed is the relative core speed (1.0 = nominal).
+	Speed float64
+	// Tasks is how many tasks the PE currently holds.
+	Tasks int
+	// Offline marks a revoked core: it must shed every task it still
+	// holds and must never be handed load.
+	Offline bool
+}
+
+// TransferTask describes one task handed from a PE to a neighbor.
+type TransferTask struct {
+	ID    TaskID
+	Load  float64
+	Bytes int
+}
+
+// Transfer is the set of tasks a planner hands one neighbor in a round.
+type Transfer struct {
+	// To is the destination PE; it must be one of the peers passed to the
+	// Plan call that produced this transfer, and must not be offline.
+	To    int
+	Tasks []TransferTask
+}
+
+// LocalPE is the strictly local measurement a DistributedPlanner is built
+// from — the planner never sees another PE's task list.
+type LocalPE struct {
+	PE         int
+	Background float64
+	Speed      float64
+	Offline    bool
+	// Tasks lists the PE's current tasks. The planner must copy what it
+	// keeps: the slice may be caller-owned scratch.
+	Tasks []TransferTask
+	// Affinity, when non-nil, is indexed parallel to Tasks: Affinity[i][j]
+	// is the bytes task i exchanged with neighbor slot j over the last
+	// interval (communication-aware placement input). Nil means no
+	// communication data is available.
+	Affinity [][]float64
+}
+
+// TermSample is one PE's contribution to the round-termination reduction.
+// Samples merge associatively up a spanning tree; the root inspects the
+// merged sample to decide whether another round is worthwhile.
+type TermSample struct {
+	// Load is the summed Load of the contributing PEs (all application
+	// load plus background, including load still stranded on offline PEs).
+	Load float64
+	// Speed is the summed speed of the contributing online PEs; offline
+	// PEs contribute 0, so Load/Speed is the live-core average (Eq. 1).
+	Speed float64
+	// MaxNorm is the maximum speed-normalized per-PE load among the
+	// contributing online PEs.
+	MaxNorm float64
+	// Moved counts tasks handed off in the round being sampled.
+	Moved int
+}
+
+// Merge folds another sample into t. The operation is commutative and
+// associative, so any reduction-tree shape yields the same root sample.
+func (t *TermSample) Merge(o TermSample) {
+	t.Load += o.Load
+	t.Speed += o.Speed
+	if o.MaxNorm > t.MaxNorm {
+		t.MaxNorm = o.MaxNorm
+	}
+	t.Moved += o.Moved
+}
+
+// DistributedPlanner is one PE's planning state. The driver calls, per
+// round: Summary (before any transfer), then Plan exactly once, then
+// Receive for the round's inbound tasks, then Sample. Implementations
+// need not be safe for concurrent use — the runtime serializes all calls.
+type DistributedPlanner interface {
+	// Summary returns this PE's current O(1) load summary.
+	Summary() PeerLoad
+	// Plan decides the round's outbound transfers given the neighbors'
+	// summaries, in the same slot order as the strategy's Neighbors list.
+	// The summaries are pre-transfer: every PE plans against the same
+	// snapshot, so a round's decisions commute. Tasks returned in a
+	// Transfer leave this planner's state.
+	Plan(peers []PeerLoad) []Transfer
+	// Receive absorbs tasks handed to this PE in the current round.
+	Receive(tasks []TransferTask)
+	// Sample returns this PE's termination sample for the round just
+	// executed (after Plan and Receive).
+	Sample() TermSample
+	// StateBytes estimates the planner's current memory footprint — the
+	// quantity the O(local tasks + neighbors) bound is claimed on.
+	StateBytes() int
+}
+
+// DistributedStrategy plans migrations without any central gather. It
+// still implements Strategy: Plan drives the same planners synchronously
+// over a full Stats snapshot, for offline planning, tests and benchmarks.
+type DistributedStrategy interface {
+	Strategy
+	// Neighbors returns the PEs (indices in [0, numPEs)) that PE pe
+	// exchanges summaries and tasks with, in ascending order. The
+	// relation must be symmetric: q ∈ Neighbors(p) ⇔ p ∈ Neighbors(q).
+	Neighbors(pe, numPEs int) []int
+	// NewPlanner builds the per-PE planning state from local measurements.
+	NewPlanner(local LocalPE, numPEs int) DistributedPlanner
+	// MaxRounds bounds the number of exchange rounds per LB step.
+	MaxRounds() int
+	// Converged reports whether the merged root sample ends the rounds.
+	Converged(t TermSample) bool
+}
+
+// MeshShape factors n PEs into the most-square w×h mesh (w ≥ h, w·h = n):
+// h is the largest divisor of n not exceeding √n. A prime n degenerates
+// to a 1×n chain.
+func MeshShape(n int) (w, h int) {
+	if n <= 0 {
+		return 0, 0
+	}
+	h = 1
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			h = d
+		}
+	}
+	return n / h, h
+}
+
+// MeshNeighbors returns PE pe's 4-neighborhood in the MeshShape(n) mesh
+// (non-periodic), in ascending order. Corner and edge PEs have 2 or 3
+// neighbors; a 1×n chain gives each interior PE 2.
+func MeshNeighbors(pe, n int) []int {
+	w, _ := MeshShape(n)
+	if w == 0 {
+		return nil
+	}
+	x, y := pe%w, pe/w
+	nbr := make([]int, 0, 4)
+	if y > 0 {
+		nbr = append(nbr, pe-w)
+	}
+	if x > 0 {
+		nbr = append(nbr, pe-1)
+	}
+	if x < w-1 {
+		nbr = append(nbr, pe+1)
+	}
+	if pe+w < n { // w·h == n exactly, so this is y < h-1
+		nbr = append(nbr, pe+w)
+	}
+	return nbr
+}

@@ -1,0 +1,95 @@
+package core
+
+import (
+	"slices"
+	"testing"
+)
+
+func TestMeshShape(t *testing.T) {
+	cases := []struct{ n, w, h int }{
+		{1, 1, 1}, {2, 2, 1}, {4, 2, 2}, {6, 3, 2}, {7, 7, 1},
+		{12, 4, 3}, {32, 8, 4}, {256, 16, 16}, {1024, 32, 32},
+	}
+	for _, c := range cases {
+		w, h := MeshShape(c.n)
+		if w != c.w || h != c.h {
+			t.Errorf("MeshShape(%d) = %dx%d, want %dx%d", c.n, w, h, c.w, c.h)
+		}
+		if w*h != c.n || w < h {
+			t.Errorf("MeshShape(%d) = %dx%d: not a w>=h factorization", c.n, w, h)
+		}
+	}
+}
+
+func TestMeshNeighborsStructure(t *testing.T) {
+	for _, n := range []int{1, 2, 5, 6, 16, 32, 97, 1024} {
+		adj := make([][]int, n)
+		for pe := 0; pe < n; pe++ {
+			nbr := MeshNeighbors(pe, n)
+			adj[pe] = nbr
+			if !slices.IsSorted(nbr) {
+				t.Fatalf("n=%d pe=%d: neighbors %v not ascending", n, pe, nbr)
+			}
+			if len(nbr) > 4 {
+				t.Fatalf("n=%d pe=%d: degree %d > 4", n, pe, len(nbr))
+			}
+			for _, q := range nbr {
+				if q < 0 || q >= n || q == pe {
+					t.Fatalf("n=%d pe=%d: invalid neighbor %d", n, pe, q)
+				}
+			}
+		}
+		// Symmetry: q in N(p) iff p in N(q).
+		for p := 0; p < n; p++ {
+			for _, q := range adj[p] {
+				if !slices.Contains(adj[q], p) {
+					t.Fatalf("n=%d: asymmetric edge %d->%d", n, p, q)
+				}
+			}
+		}
+		// Connectivity: a mesh is connected, so diffusion can reach anywhere.
+		if n > 1 {
+			seen := make([]bool, n)
+			queue := []int{0}
+			seen[0] = true
+			count := 1
+			for len(queue) > 0 {
+				p := queue[0]
+				queue = queue[1:]
+				for _, q := range adj[p] {
+					if !seen[q] {
+						seen[q] = true
+						count++
+						queue = append(queue, q)
+					}
+				}
+			}
+			if count != n {
+				t.Fatalf("n=%d: mesh not connected (%d reachable)", n, count)
+			}
+		}
+	}
+}
+
+func TestTermSampleMerge(t *testing.T) {
+	a := TermSample{Load: 1, Speed: 1, MaxNorm: 1, Moved: 0}
+	b := TermSample{Load: 3, Speed: 2, MaxNorm: 1.5, Moved: 2}
+	c := TermSample{Load: 2, Speed: 1, MaxNorm: 2, Moved: 1}
+
+	// (a+b)+c == a+(b+c): the reduction tree shape must not matter.
+	ab := a
+	ab.Merge(b)
+	abc1 := ab
+	abc1.Merge(c)
+	bc := b
+	bc.Merge(c)
+	abc2 := a
+	abc2.Merge(bc)
+	if abc1 != abc2 {
+		t.Fatalf("merge not associative: %+v vs %+v", abc1, abc2)
+	}
+	want := TermSample{Load: 6, Speed: 4, MaxNorm: 2, Moved: 3}
+	if abc1 != want {
+		t.Fatalf("merged sample %+v, want %+v", abc1, want)
+	}
+}

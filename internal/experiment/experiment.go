@@ -65,6 +65,7 @@ const (
 	Greedy
 	Threshold
 	CostAware
+	Diffusion
 )
 
 func (s StrategyKind) String() string {
@@ -83,6 +84,8 @@ func (s StrategyKind) String() string {
 		return "ThresholdLB"
 	case CostAware:
 		return "MigrationCostAwareLB"
+	case Diffusion:
+		return "DiffusionLB"
 	}
 	return "unknown"
 }
@@ -91,7 +94,7 @@ func (s StrategyKind) String() string {
 // network's resolved inter-node bandwidth — the migration-cost model must
 // price moves over the same links the runtime actually pays for, not a
 // separate copy of the defaults.
-func buildStrategy(k StrategyKind, epsFrac, interNodeBW float64) core.Strategy {
+func buildStrategy(k StrategyKind, epsFrac, interNodeBW float64, diffRounds int, diffTol float64) core.Strategy {
 	if epsFrac <= 0 {
 		epsFrac = 0.02
 	}
@@ -113,6 +116,8 @@ func buildStrategy(k StrategyKind, epsFrac, interNodeBW float64) core.Strategy {
 			Inner:          &core.RefineLB{EpsilonFrac: epsFrac},
 			BytesPerSecond: interNodeBW,
 		}
+	case Diffusion:
+		return &lb.DiffusionLB{Rounds: diffRounds, Tol: diffTol}
 	}
 	panic(fmt.Sprintf("experiment: unknown strategy %d", k))
 }
@@ -153,6 +158,20 @@ type Scenario struct {
 	Scale float64
 	// SyncEvery overrides the LB period in iterations (0 = default 10).
 	SyncEvery int
+	// CharesPerCore overrides the over-decomposition ratio (0 = default
+	// 32). The cloud-scale Figure 7 runs lower it so 1024 cores stay near
+	// the paper's ~100k-object regime.
+	CharesPerCore int
+	// StencilBlock overrides the per-chare stencil block edge in cells
+	// (0 = default 16). Smaller blocks shrink per-chare kernel state, the
+	// memory knob for very large chare counts.
+	StencilBlock int
+	// DiffRounds and DiffTol configure DiffusionLB: the per-step round
+	// bound (0 = default 16) and the convergence band as a fraction of the
+	// live-core average load (0 = default 0.05). Ignored by every other
+	// strategy.
+	DiffRounds int
+	DiffTol    float64
 	// EpsilonFrac overrides RefineLB's tolerance as a fraction of T_avg
 	// (0 = default 0.02). Only meaningful for refinement strategies.
 	EpsilonFrac float64
@@ -227,11 +246,13 @@ type Result struct {
 // testbedCores is the testbed's total core count.
 const testbedCores = 32
 
-// testbed returns the paper's machine shape, driven by the sharded
-// scheduler when sh is non-nil and by the single engine otherwise.
-func testbed(eng *sim.Engine, sh *sim.Shards, interactivityBonus float64, reg *metrics.Registry) *machine.Machine {
+// testbed returns the evaluation machine shape — nodes x 4 cores — driven
+// by the sharded scheduler when sh is non-nil and by the single engine
+// otherwise. The paper's testbed is testbedNodes nodes; the cloud-scale
+// scenarios grow the node count with the allocation.
+func testbed(eng *sim.Engine, sh *sim.Shards, nodes int, interactivityBonus float64, reg *metrics.Registry) *machine.Machine {
 	cfg := machine.Config{
-		Nodes: 8, CoresPerNode: 4, CoreSpeed: 1,
+		Nodes: nodes, CoresPerNode: 4, CoreSpeed: 1,
 		InteractivityBonus: interactivityBonus,
 		Metrics:            reg,
 	}
@@ -305,8 +326,15 @@ func resolveShards(v, nodes int) int {
 
 // Run executes one scenario to completion and returns its measurements.
 func Run(s Scenario) Result {
-	if s.Cores <= 0 || s.Cores%4 != 0 || s.Cores > 32 {
-		panic(fmt.Sprintf("experiment: cores must be a multiple of 4 in [4,32], got %d", s.Cores))
+	if s.Cores <= 0 || s.Cores%4 != 0 {
+		panic(fmt.Sprintf("experiment: cores must be a positive multiple of 4, got %d", s.Cores))
+	}
+	// Up to the paper's 32 cores the run uses the fixed 8-node testbed (a
+	// small allocation occupies its first nodes); past it the cluster grows
+	// with the allocation, one node per 4 cores.
+	nodes := testbedNodes
+	if s.Cores > testbedCores {
+		nodes = s.Cores / 4
 	}
 	if s.Scale <= 0 {
 		s.Scale = 1
@@ -326,7 +354,7 @@ func Run(s Scenario) Result {
 	// migration-cost model's bandwidth. (Two independent DefaultConfig()
 	// calls here and in helpers.go once let those silently diverge.)
 	netCfg := s.Net.Resolved()
-	nShards := resolveShards(s.Shards, testbedNodes)
+	nShards := resolveShards(s.Shards, nodes)
 
 	var (
 		eng *sim.Engine
@@ -341,7 +369,7 @@ func Run(s Scenario) Result {
 		// lands at least this far in the sender's future, which is what
 		// lets shards burn a window in parallel. xnet.New re-validates the
 		// invariant against the same config.
-		sh = sim.NewShards(nShards, sim.Time(netCfg.MinInterNodeLatency(testbedNodes)))
+		sh = sim.NewShards(nShards, sim.Time(netCfg.MinInterNodeLatency(nodes)))
 		defer sh.Close()
 		sh.SetEventLimit(2_000_000_000)
 		sh.SetMetrics(s.Metrics)
@@ -361,7 +389,7 @@ func Run(s Scenario) Result {
 			s.Metrics.Gauge("sim_event_heap_depth_max", "High-water mark of the pending-event heap."),
 		)
 	}
-	mach := testbed(eng, sh, s.InteractivityBonus, s.Metrics)
+	mach := testbed(eng, sh, nodes, s.InteractivityBonus, s.Metrics)
 	net := xnet.New(mach, netCfg)
 	net.SetMetrics(s.Metrics)
 	rng := rand.New(rand.NewSource(s.Seed*2654435761 + 12345))
@@ -383,7 +411,7 @@ func Run(s Scenario) Result {
 		}
 		appRTS = charm.NewRTS(charm.Config{
 			Machine: mach, Net: net, Cores: cores,
-			Strategy:       buildStrategy(s.Strategy, s.EpsilonFrac, netCfg.InterNodeBandwidth),
+			Strategy:       buildStrategy(s.Strategy, s.EpsilonFrac, netCfg.InterNodeBandwidth, s.DiffRounds, s.DiffTol),
 			Placement:      placement,
 			HierarchicalLB: s.Hierarchical,
 			Trace:          s.Trace,
@@ -427,11 +455,11 @@ func Run(s Scenario) Result {
 	}
 
 	// Meter the nodes the application occupies.
-	nodes := make([]int, s.Cores/4)
-	for i := range nodes {
-		nodes[i] = i
+	meterNodes := make([]int, s.Cores/4)
+	for i := range meterNodes {
+		meterNodes[i] = i
 	}
-	meter := power.NewMeter(mach, power.DefaultModel(), 1, nodes)
+	meter := power.NewMeter(mach, power.DefaultModel(), 1, meterNodes)
 	meter.Start()
 
 	// Under a sharded scheduler the finish callback fires at the first
@@ -552,7 +580,15 @@ func scaleIters(n int, scale float64) int {
 }
 
 func buildApp(rts *charm.RTS, s Scenario, rng *rand.Rand) {
-	nChares := charesPerCore * s.Cores
+	perCore := s.CharesPerCore
+	if perCore <= 0 {
+		perCore = charesPerCore
+	}
+	block := s.StencilBlock
+	if block <= 0 {
+		block = stencilBlock
+	}
+	nChares := perCore * s.Cores
 	jitter := costJitter(rng, nChares)
 	period := s.SyncEvery
 	if period <= 0 {
@@ -563,25 +599,25 @@ func buildApp(rts *charm.RTS, s Scenario, rng *rand.Rand) {
 		w, h := gridShape(nChares)
 		apps.NewStencilApp(rts, apps.StencilConfig{
 			Array: "jacobi",
-			GridW: w * stencilBlock, GridH: h * stencilBlock,
+			GridW: w * block, GridH: h * block,
 			CharesX: w, CharesY: h,
 			Iters:       scaleIters(jacobiIters, s.Scale),
 			SyncEvery:   period,
 			CostPerCell: jacobiCostPerCell,
 			CostScale:   jitter,
-			NewKernel:   apps.NewJacobiKernel(w*stencilBlock, h*stencilBlock),
+			NewKernel:   apps.NewJacobiKernel(w*block, h*block),
 		})
 	case Wave2D:
 		w, h := gridShape(nChares)
 		apps.NewStencilApp(rts, apps.StencilConfig{
 			Array: "wave",
-			GridW: w * stencilBlock, GridH: h * stencilBlock,
+			GridW: w * block, GridH: h * block,
 			CharesX: w, CharesY: h,
 			Iters:       scaleIters(waveIters, s.Scale),
 			SyncEvery:   period,
 			CostPerCell: waveCostPerCell,
 			CostScale:   jitter,
-			NewKernel:   apps.NewWaveKernel(w*stencilBlock, h*stencilBlock, 0.4),
+			NewKernel:   apps.NewWaveKernel(w*block, h*block, 0.4),
 		})
 	case Mol3D:
 		cx, cy := gridShape(nChares)

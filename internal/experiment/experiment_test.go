@@ -93,7 +93,7 @@ func TestLBRaisesPowerLowersEnergy(t *testing.T) {
 func TestRunValidatesScenario(t *testing.T) {
 	bad := []Scenario{
 		{App: Wave2D, Cores: 3},              // not a multiple of 4
-		{App: Wave2D, Cores: 36},             // beyond the testbed
+		{App: Wave2D, Cores: -4},             // nonsense allocation
 		{App: AppNone, Cores: 4, BG: BGNone}, // nothing to run
 	}
 	for i, s := range bad {
@@ -326,8 +326,8 @@ func TestGridShapeFactors(t *testing.T) {
 }
 
 func TestStrategyKindsBuild(t *testing.T) {
-	for _, k := range []StrategyKind{NoLB, Refine, RefineInternal, RefineSwap, Greedy, Threshold, CostAware} {
-		if k != NoLB && buildStrategy(k, 0, xnet.DefaultConfig().InterNodeBandwidth) == nil {
+	for _, k := range []StrategyKind{NoLB, Refine, RefineInternal, RefineSwap, Greedy, Threshold, CostAware, Diffusion} {
+		if k != NoLB && buildStrategy(k, 0, xnet.DefaultConfig().InterNodeBandwidth, 0, 0) == nil {
 			t.Fatalf("strategy %v built nil", k)
 		}
 		if k.String() == "unknown" {

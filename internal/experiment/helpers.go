@@ -27,7 +27,7 @@ func newRNG(seed int64) *rand.Rand {
 func newAppRTS(m *machine.Machine, net *xnet.Network, cores []int, strat StrategyKind, rec *trace.Recorder) *charm.RTS {
 	return charm.NewRTS(charm.Config{
 		Machine: m, Net: net, Cores: cores,
-		Strategy: buildStrategy(strat, 0, net.Config().InterNodeBandwidth),
+		Strategy: buildStrategy(strat, 0, net.Config().InterNodeBandwidth, 0, 0),
 		Trace:    rec,
 		Name:     "app",
 	})

@@ -39,7 +39,11 @@ type Spec struct {
 	BGWeight           float64
 	BGIters            int
 	SyncEvery          int
+	CharesPerCore      int
+	StencilBlock       int
 	EpsilonFrac        float64
+	DiffRounds         int
+	DiffTol            float64
 	InteractivityBonus float64
 	Hierarchical       bool
 	Faults             elastic.Schedule
@@ -105,7 +109,11 @@ func (sp Spec) Scenarios() []Scenario {
 					App: sp.App, Cores: cores, Strategy: k, BG: sp.BG,
 					Seed: seed, BGWeight: sp.BGWeight, BGIters: sp.BGIters,
 					Scale: sp.scale(), SyncEvery: sp.SyncEvery,
+					CharesPerCore:      sp.CharesPerCore,
+					StencilBlock:       sp.StencilBlock,
 					EpsilonFrac:        sp.EpsilonFrac,
+					DiffRounds:         sp.DiffRounds,
+					DiffTol:            sp.DiffTol,
 					InteractivityBonus: sp.InteractivityBonus,
 					Hierarchical:       sp.Hierarchical,
 					Faults:             sp.Faults,

@@ -1,0 +1,197 @@
+package lb
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cloudlb/internal/core"
+)
+
+// diffStats builds a cores-PE snapshot with tasksPer tasks per PE at unit
+// load, except the hot PEs carry hotLoad per task.
+func diffStats(cores, tasksPer int, hot []int, hotLoad float64) core.Stats {
+	s := core.Stats{WallSinceLB: 10}
+	hotSet := map[int]bool{}
+	for _, h := range hot {
+		hotSet[h] = true
+	}
+	idx := 0
+	for pe := 0; pe < cores; pe++ {
+		s.Cores = append(s.Cores, core.CoreSample{PE: pe, Speed: 1})
+		load := 1.0
+		if hotSet[pe] {
+			load = hotLoad
+		}
+		for i := 0; i < tasksPer; i++ {
+			s.Tasks = append(s.Tasks, core.Task{
+				ID: core.TaskID{Array: "a", Index: idx}, PE: pe, Load: load, Bytes: 1 << 10,
+			})
+			idx++
+		}
+	}
+	return s
+}
+
+func maxLoad(loads map[int]float64) float64 {
+	m := 0.0
+	for _, l := range loads {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+func TestDiffusionLBReducesImbalance(t *testing.T) {
+	s := diffStats(16, 32, []int{5}, 3.0)
+	d := &DiffusionLB{}
+	moves := d.Plan(s)
+	if len(moves) == 0 {
+		t.Fatal("no moves on a 3x hot spot")
+	}
+	before := maxLoad(applyMoves(s, nil))
+	after := maxLoad(applyMoves(s, moves))
+	if after >= before {
+		t.Fatalf("max load %v did not improve (before %v)", after, before)
+	}
+	// 16 rounds on a 4x4 mesh is plenty to spread one hot spot; be
+	// generous but meaningful: within 40%% of the ideal average.
+	avg := (15*32 + 32*3.0) / 16.0
+	if after > avg*1.4 {
+		t.Fatalf("max load %v still far from average %v after diffusion", after, avg)
+	}
+	// No task may move twice, and every target must be a real PE.
+	seen := map[core.TaskID]bool{}
+	for _, m := range moves {
+		if seen[m.Task] {
+			t.Fatalf("duplicate move for %v", m.Task)
+		}
+		seen[m.Task] = true
+		if m.To < 0 || m.To >= 16 {
+			t.Fatalf("move to invalid PE %d", m.To)
+		}
+	}
+}
+
+func TestDiffusionLBBalancedStays(t *testing.T) {
+	s := diffStats(16, 32, nil, 1.0)
+	if moves := (&DiffusionLB{}).Plan(s); len(moves) != 0 {
+		t.Fatalf("moves %v on a perfectly balanced snapshot", moves)
+	}
+}
+
+func TestDiffusionLBDeterministic(t *testing.T) {
+	mk := func() core.Stats {
+		s := diffStats(32, 8, []int{3, 17}, 4.0)
+		r := rand.New(rand.NewSource(42))
+		for i := range s.Tasks {
+			s.Tasks[i].Load *= 0.5 + r.Float64()
+		}
+		for i := range s.Cores {
+			s.Cores[i].Background = r.Float64() * 0.5
+		}
+		return s
+	}
+	d := &DiffusionLB{}
+	m1 := d.Plan(mk())
+	m2 := d.Plan(mk())
+	if !reflect.DeepEqual(m1, m2) {
+		t.Fatalf("plans differ across identical inputs:\n%v\n%v", m1, m2)
+	}
+}
+
+func TestDiffusionLBEvacuatesOfflineCore(t *testing.T) {
+	s := offlineStats()
+	checkEvacuated(t, s, (&DiffusionLB{}).Plan(s))
+}
+
+func TestDiffusionLBAllOffline(t *testing.T) {
+	s := offlineStats()
+	for i := range s.Cores {
+		s.Cores[i].Offline = true
+	}
+	if moves := (&DiffusionLB{}).Plan(s); moves != nil {
+		t.Fatalf("moves %v with every core offline", moves)
+	}
+}
+
+func TestDiffusionLBDrainsIsolatedOfflineCorner(t *testing.T) {
+	// 2x2 mesh with PE 0 and both its mesh neighbors (1, 2) offline: the
+	// neighborhood push can never evacuate PE 0, so the final drain pass
+	// must force its tasks onto PE 3.
+	s := core.Stats{
+		Cores: []core.CoreSample{
+			{PE: 0, Speed: 1, Offline: true},
+			{PE: 1, Speed: 1, Offline: true},
+			{PE: 2, Speed: 1, Offline: true},
+			{PE: 3, Speed: 1},
+		},
+		Tasks: []core.Task{
+			{ID: core.TaskID{Array: "a", Index: 0}, PE: 0, Load: 2},
+			{ID: core.TaskID{Array: "a", Index: 1}, PE: 3, Load: 1},
+		},
+		WallSinceLB: 10,
+	}
+	moves := (&DiffusionLB{}).Plan(s)
+	if len(moves) != 1 || moves[0].Task.Index != 0 || moves[0].To != 3 {
+		t.Fatalf("expected a[0] forced to PE 3, got %v", moves)
+	}
+}
+
+func TestDiffusionLBAffinityWins(t *testing.T) {
+	// One overloaded planner with two equally lighter neighbors: without
+	// affinity the tie-break picks the lower PE; with affinity pointing
+	// at the higher PE, the task must follow its communication partner.
+	d := &DiffusionLB{}
+	mk := func(aff [][]float64) int {
+		local := core.LocalPE{PE: 0, Speed: 1, Affinity: aff}
+		for i := 0; i < 10; i++ {
+			local.Tasks = append(local.Tasks, core.TransferTask{
+				ID: core.TaskID{Array: "a", Index: i}, Load: 0.5,
+			})
+		}
+		p := d.NewPlanner(local, 4)
+		peers := []core.PeerLoad{
+			{PE: 1, Load: 1, Speed: 1, Tasks: 1},
+			{PE: 2, Load: 1, Speed: 1, Tasks: 1},
+		}
+		trs := p.Plan(peers)
+		for _, tr := range trs {
+			for _, task := range tr.Tasks {
+				if task.ID.Index == 0 {
+					return tr.To
+				}
+			}
+		}
+		return -1
+	}
+	if to := mk(nil); to != 1 {
+		t.Fatalf("without affinity, task a[0] went to PE %d, want 1 (tie-break)", to)
+	}
+	aff := make([][]float64, 10)
+	aff[0] = []float64{0, 4096} // task 0 talks to neighbor slot 1 (PE 2)
+	if to := mk(aff); to != 2 {
+		t.Fatalf("with affinity to PE 2, task a[0] went to PE %d", to)
+	}
+}
+
+func TestDiffusionPlannerStateBounded(t *testing.T) {
+	// The O(local tasks + neighbors) claim: a planner over 1/64th of a
+	// 64-PE snapshot must hold a small fraction of the state a central
+	// gather would.
+	const cores, tasksPer = 64, 32
+	d := &DiffusionLB{}
+	local := core.LocalPE{PE: 0, Speed: 1}
+	for i := 0; i < tasksPer; i++ {
+		local.Tasks = append(local.Tasks, core.TransferTask{
+			ID: core.TaskID{Array: "a", Index: i}, Load: 1,
+		})
+	}
+	p := d.NewPlanner(local, cores)
+	p.Plan([]core.PeerLoad{{PE: 1, Load: 40, Speed: 1}, {PE: 8, Load: 40, Speed: 1}})
+	central := 48 * cores * tasksPer // ~what the master gather holds
+	if sb := p.StateBytes(); sb >= central/8 {
+		t.Fatalf("planner state %d bytes not O(local): central gather ~%d", sb, central)
+	}
+}

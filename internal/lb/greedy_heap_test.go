@@ -1,0 +1,104 @@
+package lb
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"cloudlb/internal/core"
+)
+
+// greedyPlanLinear is the pre-heap GreedyLB placement: a linear scan over
+// all cores per task, O(T·C). Kept as the equivalence oracle and the
+// "before" side of the microbenchmark.
+func greedyPlanLinear(s core.Stats) []core.Move {
+	if len(s.Cores) == 0 || len(s.Tasks) == 0 {
+		return nil
+	}
+	loads := make([]float64, len(s.Cores))
+	for i, c := range s.Cores {
+		loads[i] = c.Background
+	}
+	all := make([]int, len(s.Tasks))
+	for i := range all {
+		all[i] = i
+	}
+	order := core.SortTasksByLoadDesc(s, all)
+	var moves []core.Move
+	for _, ti := range order {
+		best := -1
+		for ci := range loads {
+			if s.Cores[ci].Offline {
+				continue
+			}
+			if best < 0 || loads[ci] < loads[best] ||
+				(loads[ci] == loads[best] && s.Cores[ci].PE < s.Cores[best].PE) {
+				best = ci
+			}
+		}
+		if best < 0 {
+			return nil
+		}
+		loads[best] += s.Tasks[ti].Load
+		if s.Cores[best].PE != s.Tasks[ti].PE {
+			moves = append(moves, core.Move{Task: s.Tasks[ti].ID, To: s.Cores[best].PE})
+		}
+	}
+	return moves
+}
+
+// greedyRandomStats builds a snapshot with deliberate load ties (quantized
+// loads) and a few offline cores, so the heap's (load, PE) tie-break and
+// offline skip are both exercised against the linear oracle.
+func greedyRandomStats(cores, tasks int, seed int64) core.Stats {
+	r := rand.New(rand.NewSource(seed))
+	s := core.Stats{WallSinceLB: 10}
+	for pe := 0; pe < cores; pe++ {
+		c := core.CoreSample{PE: pe, Speed: 1, Background: float64(r.Intn(4)) * 0.25}
+		if pe > 0 && r.Intn(10) == 0 {
+			c.Offline = true
+			c.Background = 0
+		}
+		s.Cores = append(s.Cores, c)
+	}
+	for i := 0; i < tasks; i++ {
+		s.Tasks = append(s.Tasks, core.Task{
+			ID: core.TaskID{Array: "a", Index: i}, PE: r.Intn(cores),
+			Load: float64(1+r.Intn(8)) * 0.125, Bytes: 1 << 10,
+		})
+	}
+	// Tasks on offline cores are fine: Greedy reassigns everything anyway.
+	return s
+}
+
+func TestGreedyHeapMatchesLinear(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		s := greedyRandomStats(17, 400, seed)
+		heap := GreedyLB{}.Plan(s)
+		linear := greedyPlanLinear(s)
+		if !reflect.DeepEqual(heap, linear) {
+			t.Fatalf("seed %d: heap plan diverges from linear oracle\nheap:   %v\nlinear: %v",
+				seed, heap, linear)
+		}
+	}
+}
+
+// The before/after microbenchmark for the O(T·C) → O(T log C) fix.
+func BenchmarkGreedyPlan(b *testing.B) {
+	for _, sz := range []struct{ cores, tasks int }{
+		{32, 2_000}, {256, 20_000}, {1024, 100_000},
+	} {
+		s := greedyRandomStats(sz.cores, sz.tasks, 1)
+		b.Run(fmt.Sprintf("heap/%dc_%dt", sz.cores, sz.tasks), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				GreedyLB{}.Plan(s)
+			}
+		})
+		b.Run(fmt.Sprintf("linear/%dc_%dt", sz.cores, sz.tasks), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				greedyPlanLinear(s)
+			}
+		})
+	}
+}

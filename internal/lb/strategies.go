@@ -38,15 +38,25 @@ type GreedyLB struct{}
 // Name implements core.Strategy.
 func (GreedyLB) Name() string { return "GreedyLB" }
 
-// Plan implements core.Strategy.
+// Plan implements core.Strategy. Placement uses a min-heap keyed
+// (load, PE) over the online cores instead of a linear scan per task —
+// O(T log C) instead of O(T·C) — selecting exactly the core the scan
+// would: least loaded, lowest PE on ties, never a revoked core.
 func (GreedyLB) Plan(s core.Stats) []core.Move {
 	if len(s.Cores) == 0 || len(s.Tasks) == 0 {
 		return nil
 	}
-	loads := make([]float64, len(s.Cores))
-	for i, c := range s.Cores {
-		loads[i] = c.Background
+	h := make(greedyHeap, 0, len(s.Cores))
+	for _, c := range s.Cores {
+		if c.Offline {
+			continue // a revoked core must never receive work
+		}
+		h = append(h, greedyCore{load: c.Background, pe: c.PE})
 	}
+	if len(h) == 0 {
+		return nil // no live core anywhere
+	}
+	h.init()
 	all := make([]int, len(s.Tasks))
 	for i := range all {
 		all[i] = i
@@ -54,26 +64,55 @@ func (GreedyLB) Plan(s core.Stats) []core.Move {
 	order := core.SortTasksByLoadDesc(s, all)
 	var moves []core.Move
 	for _, ti := range order {
-		// Least-loaded online core; a revoked core must never receive work.
-		best := -1
-		for ci := range loads {
-			if s.Cores[ci].Offline {
-				continue
-			}
-			if best < 0 || loads[ci] < loads[best] ||
-				(loads[ci] == loads[best] && s.Cores[ci].PE < s.Cores[best].PE) {
-				best = ci
-			}
+		h[0].load += s.Tasks[ti].Load
+		if h[0].pe != s.Tasks[ti].PE {
+			moves = append(moves, core.Move{Task: s.Tasks[ti].ID, To: h[0].pe})
 		}
-		if best < 0 {
-			return nil // no live core anywhere
-		}
-		loads[best] += s.Tasks[ti].Load
-		if s.Cores[best].PE != s.Tasks[ti].PE {
-			moves = append(moves, core.Move{Task: s.Tasks[ti].ID, To: s.Cores[best].PE})
-		}
+		h.siftDown(0)
 	}
 	return moves
+}
+
+// greedyCore is one online core in GreedyLB's placement heap.
+type greedyCore struct {
+	load float64
+	pe   int
+}
+
+// greedyHeap is a binary min-heap of cores keyed (load, PE) — the same
+// strict total order the linear scan minimized over, so heap and scan
+// pick identical destinations.
+type greedyHeap []greedyCore
+
+func (h greedyHeap) less(a, b int) bool {
+	if h[a].load != h[b].load {
+		return h[a].load < h[b].load
+	}
+	return h[a].pe < h[b].pe
+}
+
+func (h greedyHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
+	}
+}
+
+func (h greedyHeap) siftDown(i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		least := l
+		if r := l + 1; r < len(h) && h.less(r, l) {
+			least = r
+		}
+		if !h.less(least, i) {
+			return
+		}
+		h[i], h[least] = h[least], h[i]
+		i = least
+	}
 }
 
 // RefineInternalLB is the ablation of the paper's algorithm: identical

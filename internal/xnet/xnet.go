@@ -303,7 +303,14 @@ type Network struct {
 	bytesMoved  []uint64
 	drops       []uint64
 	retransmits []uint64
-	linkBusy    []float64 // NIC-occupied seconds (per-attempt serialization)
+
+	// linkBusy is NIC-occupied seconds (per-attempt serialization), per
+	// source NODE — not per shard. A node never splits across shards, so
+	// each entry has a single writer, and the additions into it happen in
+	// the node's own event order at any shard count; per-shard buckets
+	// would instead regroup the floats whenever the shard count changed
+	// and drift the published sum by ulps.
+	linkBusy []float64
 
 	// Telemetry handles (nil-safe no-ops until SetMetrics). Drops and
 	// retransmits are integer counters, so concurrent shard updates
@@ -354,7 +361,7 @@ func New(mach *machine.Machine, cfg Config) *Network {
 		bytesMoved:  make([]uint64, shards),
 		drops:       make([]uint64, shards),
 		retransmits: make([]uint64, shards),
-		linkBusy:    make([]float64, shards),
+		linkBusy:    make([]float64, nodes),
 	}
 	for s := 0; s < nodes; s++ {
 		n.linkLat[s] = make([]float64, nodes)
@@ -397,19 +404,30 @@ func (n *Network) SetMetrics(reg *metrics.Registry) {
 }
 
 // PublishMetrics flushes the NIC busy-time accumulated since the last
-// call into xnet_link_busy_seconds. Coordinator context only: it sums the
-// per-shard accumulators in shard order, so the exported float never
-// depends on how windows interleaved.
+// call into xnet_link_busy_seconds. Coordinator context only: it folds
+// the per-node accumulators with a fixed-shape pairwise reduction, so
+// the exported float is bit-identical at any shard or worker count (and
+// keeps rounding error O(log n) across large node counts).
 func (n *Network) PublishMetrics() {
 	if n.metLinkBusy == nil {
 		return
 	}
-	var total float64
-	for _, v := range n.linkBusy {
-		total += v
-	}
+	total := pairwiseSum(n.linkBusy)
 	n.metLinkBusy.Add(total - n.busyPublished)
 	n.busyPublished = total
+}
+
+// pairwiseSum reduces vs by recursive halving — a summation tree whose
+// shape depends only on len(vs), never on how the values were produced.
+func pairwiseSum(vs []float64) float64 {
+	switch len(vs) {
+	case 0:
+		return 0
+	case 1:
+		return vs[0]
+	}
+	mid := len(vs) / 2
+	return pairwiseSum(vs[:mid]) + pairwiseSum(vs[mid:])
 }
 
 func sumU64(vs []uint64) uint64 {
@@ -488,7 +506,7 @@ func (n *Network) Send(srcCore, dstCore, bytes int, deliver func()) sim.Time {
 			start = n.nicFree[srcNode]
 		}
 		n.nicFree[srcNode] = start + xfer
-		n.linkBusy[srcShard] += float64(xfer)
+		n.linkBusy[srcNode] += float64(xfer)
 		if n.cfg.DropPct > 0 {
 			rto := sim.Time(n.cfg.RetransmitTimeout)
 			for attempt := 1; attempt < n.cfg.MaxAttempts; attempt++ {
@@ -508,7 +526,7 @@ func (n *Network) Send(srcCore, dstCore, bytes int, deliver func()) sim.Time {
 				}
 				start = resend
 				n.nicFree[srcNode] = start + xfer
-				n.linkBusy[srcShard] += float64(xfer)
+				n.linkBusy[srcNode] += float64(xfer)
 			}
 		}
 		arrival = start + xfer + lat
