@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint race check bench benchjson determinism verify-results figures metrics-smoke serve-smoke net-smoke diffusion-smoke
+.PHONY: build test vet lint race check bench benchjson determinism verify-results figures metrics-smoke serve-smoke service-smoke net-smoke diffusion-smoke
 
 build:
 	$(GO) build ./...
@@ -39,7 +39,7 @@ lint: vet
 race:
 	$(GO) test -race ./...
 
-check: build lint test race bench serve-smoke net-smoke diffusion-smoke determinism
+check: build lint test race bench serve-smoke service-smoke net-smoke diffusion-smoke determinism
 
 # Benchmark smoke: every benchmark runs exactly one iteration. Catches
 # bench bodies that rot (they only compile under -bench) without paying
@@ -133,14 +133,52 @@ serve-smoke:
 	for series in sim_events_total charm_lb_migrations_total machine_core_busy_seconds; do \
 		echo "$$metrics" | grep -q "^$$series" || { echo "serve-smoke: /metrics missing $$series"; fail=1; }; \
 	done; \
-	run=$$(curl -sf "http://$$addr/api/run") || fail=1; \
-	echo "$$run" | grep -q '"scenarios_total"' || { echo "serve-smoke: /api/run missing scenarios_total"; fail=1; }; \
-	steps=$$(curl -sf "http://$$addr/api/lbsteps") || fail=1; \
-	echo "$$steps" | grep -q '"steps"' || { echo "serve-smoke: /api/lbsteps missing steps"; fail=1; }; \
+	run=$$(curl -sf "http://$$addr/api/v1/run") || fail=1; \
+	echo "$$run" | grep -q '"scenarios_total"' || { echo "serve-smoke: /api/v1/run missing scenarios_total"; fail=1; }; \
+	steps=$$(curl -sf "http://$$addr/api/v1/lbsteps") || fail=1; \
+	echo "$$steps" | grep -q '"steps"' || { echo "serve-smoke: /api/v1/lbsteps missing steps"; fail=1; }; \
+	code=$$(curl -s -o /dev/null -w '%{http_code}' "http://$$addr/api/run"); \
+	[ "$$code" = "308" ] || { echo "serve-smoke: legacy /api/run answered $$code, want 308"; fail=1; }; \
 	curl -sf "http://$$addr/" | grep -q '<!DOCTYPE html>' || { echo "serve-smoke: dashboard missing"; fail=1; }; \
 	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; rm -f "$$log"; \
 	[ $$fail -eq 0 ] || exit 1; \
 	echo "serve-smoke: all endpoints OK on $$addr"
+
+# Scenario-service smoke: boot lbsim as an evaluation server (-serve plus
+# -store), submit the same Spec twice through -submit, and assert the
+# acceptance contract of the content-addressed cache: the second run says
+# "cache hit", lists byte-identical artifact hashes, and adds zero new
+# simulation events to the live sim_events_total series.
+service-smoke:
+	@$(GO) build -o /tmp/lbsim-service-smoke ./cmd/lbsim; \
+	log=$$(mktemp); storedir=$$(mktemp -d); \
+	/tmp/lbsim-service-smoke -app jacobi2d -cores 4 -scale 0.05 \
+		-serve 127.0.0.1:0 -store "$$storedir" -serve-wait 60s >/dev/null 2>"$$log" & \
+	pid=$$!; \
+	addr=""; \
+	for i in $$(seq 1 100); do \
+		addr=$$(sed -n 's|^telemetry: serving on http://\([^/]*\)/$$|\1|p' "$$log"); \
+		[ -n "$$addr" ] && break; \
+		kill -0 $$pid 2>/dev/null || { echo "service-smoke: server exited early"; cat "$$log"; rm -rf "$$log" "$$storedir"; exit 1; }; \
+		sleep 0.1; \
+	done; \
+	[ -n "$$addr" ] || { echo "service-smoke: no serving address in stderr"; cat "$$log"; kill $$pid; rm -rf "$$log" "$$storedir"; exit 1; }; \
+	fail=0; \
+	first=$$(/tmp/lbsim-service-smoke -app wave2d -cores 8 -strategy refine -bg -scale 0.05 \
+		-submit "http://$$addr") || { echo "service-smoke: first submit failed"; fail=1; }; \
+	echo "$$first" | grep -q "(computed, spec" || { echo "service-smoke: first submit was not computed"; fail=1; }; \
+	events1=$$(curl -sf "http://$$addr/metrics" | sed -n 's/^sim_events_total //p'); \
+	second=$$(/tmp/lbsim-service-smoke -app wave2d -cores 8 -strategy refine -bg -scale 0.05 \
+		-submit "http://$$addr") || { echo "service-smoke: second submit failed"; fail=1; }; \
+	echo "$$second" | grep -q "(cache hit, spec" || { echo "service-smoke: second submit missed the cache"; fail=1; }; \
+	events2=$$(curl -sf "http://$$addr/metrics" | sed -n 's/^sim_events_total //p'); \
+	[ -n "$$events1" ] && [ "$$events1" = "$$events2" ] || { \
+		echo "service-smoke: cache hit simulated: sim_events_total $$events1 -> $$events2"; fail=1; }; \
+	arts1=$$(echo "$$first" | grep '^artifact:'); arts2=$$(echo "$$second" | grep '^artifact:'); \
+	[ -n "$$arts1" ] && [ "$$arts1" = "$$arts2" ] || { echo "service-smoke: artifact listings differ between submissions"; fail=1; }; \
+	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; rm -rf "$$log" "$$storedir"; \
+	[ $$fail -eq 0 ] || exit 1; \
+	echo "service-smoke: cached resubmission OK on $$addr ($$(echo "$$arts1" | wc -l) artifacts, $$events1 events)"
 
 # Regenerate the committed results/ tree (byte-identical at any -parallel).
 # Figures 5 (elasticity) and 6 (network interference) are the cloud

@@ -26,6 +26,7 @@ import (
 	"cloudlb/internal/plot"
 	"cloudlb/internal/profiling"
 	"cloudlb/internal/runner"
+	"cloudlb/internal/service"
 	"cloudlb/internal/sim"
 	"cloudlb/internal/xnet"
 )
@@ -91,6 +92,7 @@ func main() {
 	straggle := flag.String("straggle", "", "straggler nodes and slowdown factor, NODES:FACTOR (e.g. \"1,3:4\"), applied to every scenario")
 	netSeed := flag.Int64("netseed", 0, "seed of the packet-drop lottery")
 	benchJSON := flag.String("benchjson", "", "run the engine and figure benchmarks, write JSON results to this path, and exit")
+	submit := flag.String("submit", "", `evaluate table figures (2, 4, 5, 6, compare, sweep) on a running scenario service instead of in-process (server base URL; start one with -serve and -store)`)
 	prof := profiling.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -154,6 +156,45 @@ func main() {
 		os.Exit(1)
 	}
 
+	var client *service.Client
+	if *submit != "" {
+		if *csvDir != "" || *plotDir != "" || *svgPath != "" {
+			fmt.Fprintln(os.Stderr, "figures: -submit prints the server's CSV artifact to stdout; -csv/-plots/-svg need local evaluation")
+			os.Exit(2)
+		}
+		client = &service.Client{BaseURL: *submit}
+	}
+	// remote evaluates one table figure through the scenario service: the
+	// locally assembled Spec is posted, the job awaited (a repeat of the
+	// same Spec is a cache hit served without simulating) and the named
+	// CSV artifact printed in place of the local ASCII table.
+	remote := func(method string, spec experiment.Spec, artifact string) {
+		spec.Net = netCfg
+		view, err := client.Run(ctx, service.Request{Method: method, Spec: spec})
+		if err != nil {
+			fail(err)
+		}
+		if view.State == service.StateFailed {
+			fail(fmt.Errorf("remote job %s failed: %s", view.ID, view.Error))
+		}
+		source := "computed"
+		if view.Cached {
+			source = "cache hit"
+		}
+		art, ok := view.Artifacts[artifact]
+		if !ok {
+			fail(fmt.Errorf("remote job %s has no %s artifact", view.ID, artifact))
+		}
+		b, err := client.Artifact(ctx, art)
+		if err != nil {
+			fail(err)
+		}
+		os.Stdout.Write(b)
+		fmt.Fprintf(os.Stderr, "figures: job %s (%s): %s is %s%s\n",
+			view.ID, source, artifact, strings.TrimRight(*submit, "/"), art.URL)
+		fmt.Println()
+	}
+
 	apps := map[string]experiment.AppKind{
 		"a": experiment.Jacobi2D,
 		"b": experiment.Wave2D,
@@ -161,6 +202,12 @@ func main() {
 	}
 
 	run := func(f string) {
+		if client != nil {
+			switch f {
+			case "1", "3", "7", "diffusion":
+				fail(fmt.Errorf("figure %q renders locally (timelines / host-time measurements); run it without -submit", f))
+			}
+		}
 		switch {
 		case f == "1":
 			fig1(*scale, *width, *svgPath)
@@ -168,11 +215,16 @@ func main() {
 			fig3(*scale, *width, *svgPath)
 		case f == "compare":
 			fmt.Println("Strategy comparison (Wave2D, 8 cores, interfered):")
-			results, err := experiment.Spec{
+			spec := experiment.Spec{
 				App: experiment.Wave2D, Cores: []int{8}, Seeds: []int64{1}, Scale: *scale,
 				Strategies: []experiment.StrategyKind{experiment.NoLB, experiment.Refine, experiment.RefineInternal,
 					experiment.RefineSwap, experiment.Greedy, experiment.Threshold, experiment.CostAware},
-			}.CompareStrategies(ctx, opts)
+			}
+			if client != nil {
+				remote("compare", spec, "table.csv")
+				break
+			}
+			results, err := spec.CompareStrategies(ctx, opts)
 			if err != nil {
 				fail(err)
 			}
@@ -189,11 +241,16 @@ func main() {
 			fmt.Printf("Figure 5: timing penalty of a spot revocation (Wave2D, %d cores)\n", elasticCores)
 			fmt.Printf("PE %d warned at t=%.3fs, core offline %.3f-%.3fs, replacement core %d\n",
 				r.PE, float64(r.At-r.Warning), float64(r.At), float64(r.Restore), r.ReplacementCore)
-			evals, err := experiment.Spec{
+			spec := experiment.Spec{
 				App: experiment.Wave2D, Cores: []int{elasticCores}, Seeds: seeds, Scale: *scale,
 				Strategies: []experiment.StrategyKind{experiment.NoLB, experiment.Refine, experiment.RefineSwap},
 				Faults:     sched,
-			}.Elasticity(ctx, opts)
+			}
+			if client != nil {
+				remote("elasticity", spec, "table.csv")
+				break
+			}
+			evals, err := spec.Elasticity(ctx, opts)
 			if err != nil {
 				fail(err)
 			}
@@ -223,13 +280,18 @@ func main() {
 			const netCores = 8
 			fmt.Printf("Figure 6: timing penalty of network interference (Wave2D, %d cores, interfered)\n", netCores)
 			fmt.Printf("drop %% x straggler sweep; the straggler is the allocation's last node, its links get latency x factor and bandwidth / factor\n")
-			evals, err := experiment.Spec{
+			spec := experiment.Spec{
 				App: experiment.Wave2D, Cores: []int{netCores}, Seeds: seeds, Scale: *scale,
 				Strategies:      []experiment.StrategyKind{experiment.NoLB, experiment.Refine},
 				DropPcts:        []float64{0, 2, 10},
 				StraggleFactors: []float64{1, 16},
 				Net:             netCfg,
-			}.NetworkInterference(ctx, opts)
+			}
+			if client != nil {
+				remote("net", spec, "table.csv")
+				break
+			}
+			evals, err := spec.NetworkInterference(ctx, opts)
 			if err != nil {
 				fail(err)
 			}
@@ -282,10 +344,15 @@ func main() {
 			fmt.Println()
 		case f == "sweep":
 			fmt.Println("Sensitivity of RefineLB's design parameters (Wave2D, 8 cores):")
-			points, err := experiment.Spec{
+			spec := experiment.Spec{
 				App: experiment.Wave2D, Cores: []int{8}, Seeds: []int64{1}, Scale: *scale,
 				EpsFracs: []float64{0.01, 0.02, 0.05, 0.1}, Periods: []int{5, 10, 20, 40},
-			}.SweepRefineParams(ctx, opts)
+			}
+			if client != nil {
+				remote("sweep", spec, "table.csv")
+				break
+			}
+			points, err := spec.SweepRefineParams(ctx, opts)
 			if err != nil {
 				fail(err)
 			}
@@ -303,7 +370,19 @@ func main() {
 				os.Exit(2)
 			}
 			for _, kind := range kinds {
-				evals, err := experiment.Spec{App: kind, Cores: cores, Seeds: seeds, Scale: *scale}.Evaluate(ctx, opts)
+				spec := experiment.Spec{App: kind, Cores: cores, Seeds: seeds, Scale: *scale}
+				if client != nil {
+					// The evaluate method stores Figure 2 as table.csv and
+					// Figure 4 as energy.csv under one cache entry.
+					art := "table.csv"
+					if strings.HasPrefix(f, "4") {
+						art = "energy.csv"
+					}
+					fmt.Printf("Figure %c (%s)\n", f[0], kind)
+					remote("evaluate", spec, art)
+					continue
+				}
+				evals, err := spec.Evaluate(ctx, opts)
 				if err != nil {
 					fail(err)
 				}

@@ -18,11 +18,13 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"math"
 	"os"
 	"os/signal"
+	"sort"
 	"strconv"
 	"strings"
 
@@ -30,6 +32,7 @@ import (
 	"cloudlb/internal/experiment"
 	"cloudlb/internal/profiling"
 	"cloudlb/internal/runner"
+	"cloudlb/internal/service"
 	"cloudlb/internal/sim"
 	"cloudlb/internal/stats"
 	"cloudlb/internal/trace"
@@ -93,6 +96,7 @@ func main() {
 	dropPct := flag.Float64("droppct", 0, "percentage of inter-node transmissions lost and retransmitted (0 = reliable network)")
 	straggle := flag.String("straggle", "", "straggler nodes and slowdown factor, NODES:FACTOR (e.g. \"1,3:4\"): their links get latency x factor, bandwidth / factor")
 	netSeed := flag.Int64("netseed", 0, "seed of the packet-drop lottery (deterministic per seed at any shard count)")
+	submit := flag.String("submit", "", `submit the scenario to a running service instead of simulating in-process (server base URL, e.g. "http://127.0.0.1:8080"; start one with -serve and -store)`)
 	prof := profiling.RegisterFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -102,28 +106,14 @@ func main() {
 		os.Exit(1)
 	}
 
-	appKind, ok := map[string]experiment.AppKind{
-		"jacobi2d": experiment.Jacobi2D,
-		"wave2d":   experiment.Wave2D,
-		"mol3d":    experiment.Mol3D,
-	}[strings.ToLower(*app)]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "lbsim: unknown app %q\n", *app)
+	appKind, err := experiment.ParseAppKind(*app)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbsim:", err)
 		os.Exit(2)
 	}
-	stratKind, ok := map[string]experiment.StrategyKind{
-		"none":           experiment.NoLB,
-		"nolb":           experiment.NoLB,
-		"refine":         experiment.Refine,
-		"refineinternal": experiment.RefineInternal,
-		"refineswap":     experiment.RefineSwap,
-		"greedy":         experiment.Greedy,
-		"threshold":      experiment.Threshold,
-		"costaware":      experiment.CostAware,
-		"diffusion":      experiment.Diffusion,
-	}[strings.ToLower(*strategy)]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "lbsim: unknown strategy %q\n", *strategy)
+	stratKind, err := experiment.ParseStrategyKind(*strategy)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbsim:", err)
 		os.Exit(2)
 	}
 	if *runs < 1 {
@@ -143,10 +133,6 @@ func main() {
 
 	faults, err := parsePreempt(*preempt)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "lbsim:", err)
-		os.Exit(2)
-	}
-	if err := faults.Validate(*cores); err != nil {
 		fmt.Fprintln(os.Stderr, "lbsim:", err)
 		os.Exit(2)
 	}
@@ -190,6 +176,34 @@ func main() {
 	case *churn:
 		spec.BG = experiment.BGCloudChurn
 	}
+	// One validation path for flags and HTTP submissions alike: the same
+	// Spec.Validate that gates POST /api/v1/jobs gates the command line.
+	if err := spec.Validate(); err != nil {
+		var verr *experiment.ValidationError
+		if errors.As(err, &verr) {
+			for _, fe := range verr.Fields {
+				fmt.Fprintf(os.Stderr, "lbsim: %s: %s\n", fe.Field, fe.Msg)
+			}
+		} else {
+			fmt.Fprintln(os.Stderr, "lbsim:", err)
+		}
+		os.Exit(2)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	if *submit != "" {
+		if err := submitRemote(ctx, *submit, spec, *chromePath); err != nil {
+			fmt.Fprintln(os.Stderr, "lbsim:", err)
+			os.Exit(1)
+		}
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "lbsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	var rec *trace.Recorder
 	batch := spec.Scenarios()
@@ -202,8 +216,6 @@ func main() {
 		batch[0].Trace = rec
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-	defer stop()
 	pool := &runner.Pool{Workers: *parallel, Metrics: prof.Registry(), Progress: prof.Tracker()}
 	results, batchStats, err := pool.RunBatch(ctx, batch)
 	if err != nil {
@@ -262,4 +274,54 @@ func main() {
 		fmt.Fprintln(os.Stderr, "lbsim:", err)
 		os.Exit(1)
 	}
+}
+
+// submitRemote sends the assembled Spec to a scenario service and prints
+// the resulting artifact table. A repeat submission of the same Spec is
+// served from the server's content-addressed cache without simulating.
+func submitRemote(ctx context.Context, base string, spec experiment.Spec, chromePath string) error {
+	client := &service.Client{BaseURL: base}
+	view, err := client.Run(ctx, service.Request{Method: "scenarios", Spec: spec})
+	if err != nil {
+		return err
+	}
+	if view.State == service.StateFailed {
+		return fmt.Errorf("remote job %s failed: %s", view.ID, view.Error)
+	}
+	source := "computed"
+	if view.Cached {
+		source = "cache hit"
+	}
+	fmt.Printf("job:            %s on %s (%s, spec %s)\n", view.ID, base, source, view.SpecHash[:12])
+	if art, ok := view.Artifacts["table.csv"]; ok {
+		b, err := client.Artifact(ctx, art)
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(b)
+	}
+	names := make([]string, 0, len(view.Artifacts))
+	for name := range view.Artifacts {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		art := view.Artifacts[name]
+		fmt.Printf("artifact:       %-12s %s%s (%d bytes)\n", name, strings.TrimRight(base, "/"), art.URL, art.Size)
+	}
+	if chromePath != "" {
+		art, ok := view.Artifacts["trace.json"]
+		if !ok {
+			return fmt.Errorf("remote job recorded no trace (traces need a single-scenario batch)")
+		}
+		b, err := client.Artifact(ctx, art)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(chromePath, b, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("trace:          %s\n", chromePath)
+	}
+	return nil
 }

@@ -26,11 +26,11 @@ import (
 // comes back at that time — on ReplacementCore, or on the original core
 // when ReplacementCore is -1.
 type Revocation struct {
-	PE              int
-	At              sim.Time
-	Warning         sim.Duration
-	Restore         sim.Time
-	ReplacementCore int
+	PE              int          `json:"pe"`
+	At              sim.Time     `json:"at"`
+	Warning         sim.Duration `json:"warning,omitempty"`
+	Restore         sim.Time     `json:"restore,omitempty"`
+	ReplacementCore int          `json:"replacement_core,omitempty"`
 }
 
 // Schedule is a set of revocations applied to one runtime.

@@ -1,8 +1,6 @@
 package experiment
 
 import (
-	"context"
-
 	"cloudlb/internal/stats"
 )
 
@@ -30,29 +28,6 @@ func CompareScenarios(app AppKind, cores int, strategies []StrategyKind, seed in
 		)
 	}
 	return batch
-}
-
-// CompareStrategies runs every given strategy on the same interfered
-// workload (penalties against each strategy's own interference-free
-// baseline, as in the paper) and returns the results in input order.
-//
-// Deprecated: use Spec.CompareStrategies.
-func CompareStrategies(app AppKind, cores int, strategies []StrategyKind, seed int64, scale float64) []StrategyResult {
-	out, err := Spec{App: app, Cores: []int{cores}, Strategies: strategies, Seeds: []int64{seed}, Scale: scale}.
-		CompareStrategies(context.Background(), Options{})
-	if err != nil {
-		panic(err) // unreachable: sequential dispatch under a background context cannot fail
-	}
-	return out
-}
-
-// CompareStrategiesCtx is CompareStrategies with the batch dispatched
-// through exec.
-//
-// Deprecated: use Spec.CompareStrategies with Options{Executor: exec}.
-func CompareStrategiesCtx(ctx context.Context, app AppKind, cores int, strategies []StrategyKind, seed int64, scale float64, exec Executor) ([]StrategyResult, error) {
-	return Spec{App: app, Cores: []int{cores}, Strategies: strategies, Seeds: []int64{seed}, Scale: scale}.
-		CompareStrategies(ctx, Options{Executor: exec})
 }
 
 // CompareTable renders a strategy comparison.

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -109,7 +110,11 @@ func TestRunValidatesScenario(t *testing.T) {
 }
 
 func TestEvaluateShape(t *testing.T) {
-	evals := Evaluate(Wave2D, []int{4, 8}, []int64{1}, quickScale)
+	evals, err := Spec{App: Wave2D, Cores: []int{4, 8}, Seeds: []int64{1}, Scale: quickScale}.
+		Evaluate(context.Background(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(evals) != 2 {
 		t.Fatalf("%d rows, want 2", len(evals))
 	}
@@ -280,7 +285,12 @@ func TestKitchenSinkDeterministic(t *testing.T) {
 }
 
 func TestSweepRefineParams(t *testing.T) {
-	points := SweepRefineParams(Wave2D, 4, []float64{0.02, 0.2}, []int{10, 40}, 1, 0.5)
+	points, err := Spec{App: Wave2D, Cores: []int{4}, Seeds: []int64{1}, Scale: 0.5,
+		EpsFracs: []float64{0.02, 0.2}, Periods: []int{10, 40}}.
+		SweepRefineParams(context.Background(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(points) != 4 {
 		t.Fatalf("%d points, want 4", len(points))
 	}

@@ -1,8 +1,6 @@
 package experiment
 
 import (
-	"context"
-
 	"cloudlb/internal/elastic"
 	"cloudlb/internal/sim"
 	"cloudlb/internal/stats"
@@ -30,7 +28,7 @@ const elasticRunsPerCell = 2
 // ElasticityScenarios lists the elasticity measurement matrix as a flat
 // batch: for each strategy, for each seed, the strategy's fault-free
 // baseline and its run under the schedule. The flat order is the
-// contract between EvaluateElasticityCtx and its Executor.
+// contract between Spec.Elasticity and its Executor.
 func ElasticityScenarios(app AppKind, cores int, strategies []StrategyKind, seeds []int64, scale float64, faults elastic.Schedule) []Scenario {
 	batch := make([]Scenario, 0, len(strategies)*len(seeds)*elasticRunsPerCell)
 	for _, k := range strategies {
@@ -42,28 +40,6 @@ func ElasticityScenarios(app AppKind, cores int, strategies []StrategyKind, seed
 		}
 	}
 	return batch
-}
-
-// EvaluateElasticity runs the elasticity matrix sequentially; see
-// Spec.Elasticity.
-//
-// Deprecated: use Spec.Elasticity.
-func EvaluateElasticity(app AppKind, cores int, strategies []StrategyKind, seeds []int64, scale float64, faults elastic.Schedule) []ElasticEval {
-	evals, err := Spec{App: app, Cores: []int{cores}, Strategies: strategies, Seeds: seeds, Scale: scale, Faults: faults}.
-		Elasticity(context.Background(), Options{})
-	if err != nil {
-		panic(err) // unreachable: sequential dispatch under a background context cannot fail
-	}
-	return evals
-}
-
-// EvaluateElasticityCtx is EvaluateElasticity with the batch dispatched
-// through exec.
-//
-// Deprecated: use Spec.Elasticity with Options{Executor: exec}.
-func EvaluateElasticityCtx(ctx context.Context, app AppKind, cores int, strategies []StrategyKind, seeds []int64, scale float64, faults elastic.Schedule, exec Executor) ([]ElasticEval, error) {
-	return Spec{App: app, Cores: []int{cores}, Strategies: strategies, Seeds: seeds, Scale: scale, Faults: faults}.
-		Elasticity(ctx, Options{Executor: exec})
 }
 
 // Fig5Table renders the elasticity evaluation: timing penalty of a spot

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -48,8 +49,12 @@ func TestFaultsRequireApp(t *testing.T) {
 // replacement is at most half the noLB penalty (the balancer refills the
 // restored PE; without it the evacuees crowd the surviving cores forever).
 func TestFig5RefineBeatsNoLB(t *testing.T) {
-	evals := EvaluateElasticity(Wave2D, 8,
-		[]StrategyKind{NoLB, Refine}, []int64{1}, 0.5, Fig5Schedule(8, 0.5))
+	evals, err := Spec{App: Wave2D, Cores: []int{8}, Strategies: []StrategyKind{NoLB, Refine},
+		Seeds: []int64{1}, Scale: 0.5, Faults: Fig5Schedule(8, 0.5)}.
+		Elasticity(context.Background(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
 	no, ref := evals[0], evals[1]
 	if no.Strategy != NoLB || ref.Strategy != Refine {
 		t.Fatalf("rows out of order: %+v", evals)

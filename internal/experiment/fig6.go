@@ -76,13 +76,16 @@ func NetworkScenarios(app AppKind, cores int, strategies []StrategyKind, seeds [
 // strategy's penalty baseline. As with Evaluate, the assembled rows are
 // identical for every dispatch mode.
 func (sp Spec) NetworkInterference(ctx context.Context, opts Options) ([]NetEval, error) {
-	cores := sp.oneCores("NetworkInterference")
+	cores, err := sp.oneCores("NetworkInterference")
+	if err != nil {
+		return nil, err
+	}
 	drops, straggles := sp.DropPcts, sp.StraggleFactors
 	if len(drops) == 0 || drops[0] != 0 {
-		panic(fmt.Sprintf("experiment: Spec.NetworkInterference needs DropPcts starting at 0 (the baseline cell), got %v", drops))
+		return nil, fmt.Errorf("experiment: Spec.NetworkInterference needs DropPcts starting at 0 (the baseline cell), got %v", drops)
 	}
 	if len(straggles) == 0 || straggles[0] != 1 {
-		panic(fmt.Sprintf("experiment: Spec.NetworkInterference needs StraggleFactors starting at 1 (the baseline cell), got %v", straggles))
+		return nil, fmt.Errorf("experiment: Spec.NetworkInterference needs StraggleFactors starting at 1 (the baseline cell), got %v", straggles)
 	}
 	results, err := opts.run(ctx, NetworkScenarios(sp.App, cores, sp.Strategies, sp.Seeds, sp.scale(), drops, straggles, sp.Net))
 	if err != nil {

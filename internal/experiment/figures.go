@@ -1,8 +1,6 @@
 package experiment
 
 import (
-	"context"
-
 	"cloudlb/internal/sim"
 	"cloudlb/internal/stats"
 	"cloudlb/internal/trace"
@@ -69,7 +67,7 @@ const evalRunsPerCell = 5
 
 // EvaluateScenarios lists the full measurement matrix behind Evaluate as a
 // flat batch: for each core count, for each seed, the evalRunsPerCell runs
-// of that cell. The flat order is the contract between EvaluateCtx and its
+// of that cell. The flat order is the contract between Spec.Evaluate and its
 // Executor — results must come back slotted to the same indices.
 func EvaluateScenarios(app AppKind, coreCounts []int, seeds []int64, scale float64) []Scenario {
 	w := bgWeightFor(app)
@@ -87,27 +85,6 @@ func EvaluateScenarios(app AppKind, coreCounts []int, seeds []int64, scale float
 		}
 	}
 	return batch
-}
-
-// Evaluate runs the full Figure 2 + Figure 4 measurement matrix for one
-// application sequentially; see Spec.Evaluate.
-//
-// Deprecated: use Spec.Evaluate.
-func Evaluate(app AppKind, coreCounts []int, seeds []int64, scale float64) []Eval {
-	evals, err := Spec{App: app, Cores: coreCounts, Seeds: seeds, Scale: scale}.
-		Evaluate(context.Background(), Options{})
-	if err != nil {
-		panic(err) // unreachable: sequential dispatch under a background context cannot fail
-	}
-	return evals
-}
-
-// EvaluateCtx is Evaluate with the batch dispatched through exec.
-//
-// Deprecated: use Spec.Evaluate with Options{Executor: exec}.
-func EvaluateCtx(ctx context.Context, app AppKind, coreCounts []int, seeds []int64, scale float64, exec Executor) ([]Eval, error) {
-	return Spec{App: app, Cores: coreCounts, Seeds: seeds, Scale: scale}.
-		Evaluate(ctx, Options{Executor: exec})
 }
 
 // Fig2Table renders Figure 2 for one application: timing penalty versus

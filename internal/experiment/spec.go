@@ -18,54 +18,56 @@ import (
 // matrix; each method documents which axes it consumes.
 type Spec struct {
 	// App is the measured application (required for every method).
-	App AppKind
+	App AppKind `json:"app"`
 	// Cores lists core counts. Evaluate iterates all of them; the
 	// single-allocation methods (CompareStrategies, SweepRefineParams,
 	// Elasticity, Scenarios at one count each) use every entry too.
-	Cores []int
+	Cores []int `json:"cores"`
 	// Strategies lists the balancers for CompareStrategies, Elasticity
 	// and Scenarios.
-	Strategies []StrategyKind
+	Strategies []StrategyKind `json:"strategies,omitempty"`
 	// Seeds drive measurement noise; multi-seed methods average over them,
 	// single-seed methods (CompareStrategies, SweepRefineParams) use
 	// Seeds[0].
-	Seeds []int64
+	Seeds []int64 `json:"seeds,omitempty"`
 	// Scale shrinks iteration counts for quick runs (default 1.0).
-	Scale float64
+	Scale float64 `json:"scale,omitempty"`
 
 	// Workload knobs consumed by Scenarios (the standard evaluation
 	// methods derive their own per the paper's methodology).
-	BG                 BGKind
-	BGWeight           float64
-	BGIters            int
-	SyncEvery          int
-	CharesPerCore      int
-	StencilBlock       int
-	EpsilonFrac        float64
-	DiffRounds         int
-	DiffTol            float64
-	InteractivityBonus float64
-	Hierarchical       bool
-	Faults             elastic.Schedule
-	MaxVirtualTime     sim.Time
+	BG                 BGKind           `json:"bg,omitempty"`
+	BGWeight           float64          `json:"bg_weight,omitempty"`
+	BGIters            int              `json:"bg_iters,omitempty"`
+	SyncEvery          int              `json:"sync_every,omitempty"`
+	CharesPerCore      int              `json:"chares_per_core,omitempty"`
+	StencilBlock       int              `json:"stencil_block,omitempty"`
+	EpsilonFrac        float64          `json:"epsilon_frac,omitempty"`
+	DiffRounds         int              `json:"diff_rounds,omitempty"`
+	DiffTol            float64          `json:"diff_tol,omitempty"`
+	InteractivityBonus float64          `json:"interactivity_bonus,omitempty"`
+	Hierarchical       bool             `json:"hierarchical,omitempty"`
+	Faults             elastic.Schedule `json:"faults,omitempty"`
+	MaxVirtualTime     sim.Time         `json:"max_virtual_time,omitempty"`
 
 	// Net is the cluster interconnect every expanded scenario runs over
 	// (see Scenario.Net; the zero value is the uniform reliable default).
-	Net xnet.Config
+	Net xnet.Config `json:"net,omitzero"`
 
 	// Shards selects the event scheduler for every expanded scenario
-	// (see Scenario.Shards: 0/1 classic, N>1 sharded, -1 auto).
-	Shards int
+	// (see Scenario.Shards: 0/1 classic, N>1 sharded, -1 auto). It is an
+	// execution knob, not part of the scenario description: results are
+	// byte-identical at every value, so CanonicalJSON and Hash exclude it.
+	Shards int `json:"shards,omitempty"`
 
 	// Sweep axes for SweepRefineParams.
-	EpsFracs []float64
-	Periods  []int
+	EpsFracs []float64 `json:"eps_fracs,omitempty"`
+	Periods  []int     `json:"periods,omitempty"`
 
 	// Sweep axes for NetworkInterference: drop percentages and straggler
 	// slowdown factors. Both must start at the reliable-uniform point
 	// (0 and 1) so every cell has its baseline.
-	DropPcts        []float64
-	StraggleFactors []float64
+	DropPcts        []float64 `json:"drop_pcts,omitempty"`
+	StraggleFactors []float64 `json:"straggle_factors,omitempty"`
 }
 
 func (sp Spec) scale() float64 {
@@ -75,18 +77,18 @@ func (sp Spec) scale() float64 {
 	return sp.Scale
 }
 
-func (sp Spec) oneCores(method string) int {
+func (sp Spec) oneCores(method string) (int, error) {
 	if len(sp.Cores) != 1 {
-		panic(fmt.Sprintf("experiment: Spec.%s needs exactly one core count, got %v", method, sp.Cores))
+		return 0, fmt.Errorf("experiment: Spec.%s needs exactly one core count, got %v", method, sp.Cores)
 	}
-	return sp.Cores[0]
+	return sp.Cores[0], nil
 }
 
-func (sp Spec) oneSeed(method string) int64 {
+func (sp Spec) oneSeed(method string) (int64, error) {
 	if len(sp.Seeds) != 1 {
-		panic(fmt.Sprintf("experiment: Spec.%s needs exactly one seed, got %v", method, sp.Seeds))
+		return 0, fmt.Errorf("experiment: Spec.%s needs exactly one seed, got %v", method, sp.Seeds)
 	}
-	return sp.Seeds[0]
+	return sp.Seeds[0], nil
 }
 
 // Scenarios expands the Spec's cross product — Cores × Strategies ×
@@ -200,7 +202,14 @@ func (sp Spec) Evaluate(ctx context.Context, opts Options) ([]Eval, error) {
 // each strategy's own interference-free baseline, as in the paper) and
 // returns the results in Strategies order.
 func (sp Spec) CompareStrategies(ctx context.Context, opts Options) ([]StrategyResult, error) {
-	cores, seed := sp.oneCores("CompareStrategies"), sp.oneSeed("CompareStrategies")
+	cores, err := sp.oneCores("CompareStrategies")
+	if err != nil {
+		return nil, err
+	}
+	seed, err := sp.oneSeed("CompareStrategies")
+	if err != nil {
+		return nil, err
+	}
 	results, err := opts.run(ctx, CompareScenarios(sp.App, cores, sp.Strategies, seed, sp.scale()))
 	if err != nil {
 		return nil, err
@@ -227,7 +236,14 @@ func (sp Spec) CompareStrategies(ctx context.Context, opts Options) ([]StrategyR
 // stay below the background-induced uplift of T_avg (~1/P), and the
 // period trades reaction latency against LB overhead.
 func (sp Spec) SweepRefineParams(ctx context.Context, opts Options) ([]SweepPoint, error) {
-	cores, seed := sp.oneCores("SweepRefineParams"), sp.oneSeed("SweepRefineParams")
+	cores, err := sp.oneCores("SweepRefineParams")
+	if err != nil {
+		return nil, err
+	}
+	seed, err := sp.oneSeed("SweepRefineParams")
+	if err != nil {
+		return nil, err
+	}
 	results, err := opts.run(ctx, SweepScenarios(sp.App, cores, sp.EpsFracs, sp.Periods, seed, sp.scale()))
 	if err != nil {
 		return nil, err
@@ -254,7 +270,10 @@ func (sp Spec) SweepRefineParams(ctx context.Context, opts Options) ([]SweepPoin
 // As with Evaluate, the assembled rows are identical for every dispatch
 // mode.
 func (sp Spec) Elasticity(ctx context.Context, opts Options) ([]ElasticEval, error) {
-	cores := sp.oneCores("Elasticity")
+	cores, err := sp.oneCores("Elasticity")
+	if err != nil {
+		return nil, err
+	}
 	results, err := opts.run(ctx, ElasticityScenarios(sp.App, cores, sp.Strategies, sp.Seeds, sp.scale(), sp.Faults))
 	if err != nil {
 		return nil, err

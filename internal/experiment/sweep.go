@@ -1,7 +1,6 @@
 package experiment
 
 import (
-	"context"
 	"fmt"
 
 	"cloudlb/internal/stats"
@@ -31,28 +30,6 @@ func SweepScenarios(app AppKind, cores int, epsFracs []float64, periods []int, s
 		}
 	}
 	return batch
-}
-
-// SweepRefineParams maps RefineLB's two tunables to timing penalty and
-// migration volume; see Spec.SweepRefineParams.
-//
-// Deprecated: use Spec.SweepRefineParams.
-func SweepRefineParams(app AppKind, cores int, epsFracs []float64, periods []int, seed int64, scale float64) []SweepPoint {
-	points, err := Spec{App: app, Cores: []int{cores}, Seeds: []int64{seed}, Scale: scale, EpsFracs: epsFracs, Periods: periods}.
-		SweepRefineParams(context.Background(), Options{})
-	if err != nil {
-		panic(err) // unreachable: sequential dispatch under a background context cannot fail
-	}
-	return points
-}
-
-// SweepRefineParamsCtx is SweepRefineParams with the batch dispatched
-// through exec.
-//
-// Deprecated: use Spec.SweepRefineParams with Options{Executor: exec}.
-func SweepRefineParamsCtx(ctx context.Context, app AppKind, cores int, epsFracs []float64, periods []int, seed int64, scale float64, exec Executor) ([]SweepPoint, error) {
-	return Spec{App: app, Cores: []int{cores}, Seeds: []int64{seed}, Scale: scale, EpsFracs: epsFracs, Periods: periods}.
-		SweepRefineParams(ctx, Options{Executor: exec})
 }
 
 // SweepTable renders sweep results as a table.

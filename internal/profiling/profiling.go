@@ -16,6 +16,8 @@ import (
 	"time"
 
 	"cloudlb/internal/metrics"
+	"cloudlb/internal/service"
+	"cloudlb/internal/service/store"
 	"cloudlb/internal/telemetry"
 )
 
@@ -32,18 +34,25 @@ type Flags struct {
 	Metrics string
 	// Serve, when non-empty, starts the embedded telemetry server on this
 	// address ("127.0.0.1:0" picks a free port) for the duration of the
-	// run: live /metrics scrape, /api/run + /api/lbsteps JSON, /events
-	// SSE, /debug/pprof and the dashboard at /.
+	// run: live /metrics scrape, /api/v1/run + /api/v1/lbsteps JSON,
+	// /events SSE, /debug/pprof and the dashboard at /.
 	Serve string
 	// ServeWait keeps the telemetry server answering for this long after
 	// the workload finishes, so a scraper or browser can take a final
 	// reading before the process exits.
 	ServeWait time.Duration
+	// Store, with -serve, opens (creating if missing) the content-
+	// addressed artifact store at this directory and mounts the scenario
+	// job service — POST /api/v1/jobs, GET /api/v1/artifacts/{hash} — on
+	// the telemetry server, turning the binary into a result-caching
+	// evaluation server for the duration of the run.
+	Store string
 
 	reg     *metrics.Registry
 	tl      *metrics.LBTimeline
 	tracker *telemetry.RunTracker
 	srv     *telemetry.Server
+	svc     *service.Service
 }
 
 // RegisterFlags installs the shared observability flags on fs and
@@ -55,6 +64,7 @@ func RegisterFlags(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.Metrics, "metrics", "", `collect runtime metrics and write them on exit: "-" = Prometheus text to stderr, *.json = JSON snapshot, other = Prometheus text file`)
 	fs.StringVar(&f.Serve, "serve", "", `serve live telemetry over HTTP on this address for the duration of the run (e.g. "127.0.0.1:8080", ":0" picks a port)`)
 	fs.DurationVar(&f.ServeWait, "serve-wait", 0, "keep the -serve endpoints up this long after the run completes so a final scrape isn't lost")
+	fs.StringVar(&f.Store, "store", "", `with -serve: artifact-store directory backing the /api/v1/jobs scenario service (created if missing; results are cached by canonical Spec hash)`)
 	return f
 }
 
@@ -107,10 +117,34 @@ func (f *Flags) Start() (stop func() error, err error) {
 	if err != nil {
 		return nil, err
 	}
+	if f.Store != "" && f.Serve == "" {
+		_ = stopProfiles()
+		return nil, fmt.Errorf("profiling: -store requires -serve (the job API mounts on the telemetry server)")
+	}
 	if f.Serve != "" {
 		f.srv = telemetry.NewServer(f.Registry(), f.Timeline(), f.Tracker())
+		if f.Store != "" {
+			st, err := store.Open(f.Store)
+			if err != nil {
+				_ = stopProfiles()
+				return nil, fmt.Errorf("profiling: %w", err)
+			}
+			f.svc, err = service.New(service.Config{
+				Store:   st,
+				Metrics: f.Registry(),
+				Notify:  f.srv.Broadcast,
+			})
+			if err != nil {
+				_ = stopProfiles()
+				return nil, fmt.Errorf("profiling: %w", err)
+			}
+			f.srv.Handle(f.svc.Register)
+		}
 		addr, err := f.srv.Start(f.Serve)
 		if err != nil {
+			if f.svc != nil {
+				f.svc.Close()
+			}
 			_ = stopProfiles()
 			return nil, err
 		}
@@ -124,6 +158,11 @@ func (f *Flags) Start() (stop func() error, err error) {
 			if err := f.srv.Drain(f.ServeWait); err != nil {
 				return err
 			}
+		}
+		// The service closes after the listener: in-flight submits have
+		// completed, nothing new can arrive.
+		if f.svc != nil {
+			f.svc.Close()
 		}
 		return f.writeMetrics()
 	}, nil

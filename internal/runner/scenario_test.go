@@ -32,12 +32,13 @@ func TestParallelEvaluateMatchesSequential(t *testing.T) {
 	seeds := []int64{1, 2}
 	const scale = 0.1
 
-	seq, err := experiment.EvaluateCtx(context.Background(), app, cores, seeds, scale, experiment.RunAll)
+	spec := experiment.Spec{App: app, Cores: cores, Seeds: seeds, Scale: scale}
+	seq, err := spec.Evaluate(context.Background(), experiment.Options{Executor: experiment.RunAll})
 	if err != nil {
 		t.Fatal(err)
 	}
 	pool := &Pool{Workers: 8}
-	par, err := experiment.EvaluateCtx(context.Background(), app, cores, seeds, scale, pool.Executor())
+	par, err := spec.Evaluate(context.Background(), experiment.Options{Executor: pool.Executor()})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,9 @@ func TestParallelElasticityMatchesAcrossWorkerCounts(t *testing.T) {
 	seeds := []int64{1, 2}
 	faults := experiment.Fig5Schedule(cores, scale)
 
-	seq, err := experiment.EvaluateElasticityCtx(context.Background(), app, cores, strategies, seeds, scale, faults, experiment.RunAll)
+	spec := experiment.Spec{App: app, Cores: []int{cores}, Strategies: strategies,
+		Seeds: seeds, Scale: scale, Faults: faults}
+	seq, err := spec.Elasticity(context.Background(), experiment.Options{Executor: experiment.RunAll})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +74,7 @@ func TestParallelElasticityMatchesAcrossWorkerCounts(t *testing.T) {
 	}
 	for _, workers := range []int{1, 2, 8} {
 		pool := &Pool{Workers: workers}
-		par, err := experiment.EvaluateElasticityCtx(context.Background(), app, cores, strategies, seeds, scale, faults, pool.Executor())
+		par, err := spec.Elasticity(context.Background(), experiment.Options{Executor: pool.Executor()})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -138,9 +141,10 @@ func TestRunBatchCancellation(t *testing.T) {
 	if results != nil {
 		t.Fatal("cancelled batch returned results")
 	}
-	// The same cancellation must surface through the evaluation wrappers.
-	if _, err := experiment.EvaluateCtx(ctx, experiment.Jacobi2D, []int{4}, []int64{1}, 0.1, pool.Executor()); !errors.Is(err, context.Canceled) {
-		t.Fatalf("EvaluateCtx err = %v, want context.Canceled", err)
+	// The same cancellation must surface through Spec.Evaluate.
+	spec := experiment.Spec{App: experiment.Jacobi2D, Cores: []int{4}, Seeds: []int64{1}, Scale: 0.1}
+	if _, err := spec.Evaluate(ctx, experiment.Options{Executor: pool.Executor()}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Spec.Evaluate err = %v, want context.Canceled", err)
 	}
 }
 

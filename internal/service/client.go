@@ -1,0 +1,144 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"cloudlb/internal/experiment"
+)
+
+// Client drives a remote scenario service — the cmd binaries' -submit
+// mode, which sends the locally assembled Spec to a server instead of
+// simulating in-process.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient defaults to a client with a 10 s request timeout
+	// (individual requests are small; the long wait is the poll loop).
+	HTTPClient *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return &http.Client{Timeout: 10 * time.Second}
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimRight(c.BaseURL, "/") + path
+}
+
+// Submit posts a request and returns the accepted (or cache-hit
+// completed) job view.
+func (c *Client) Submit(ctx context.Context, req Request) (JobView, error) {
+	req.V = RequestSchemaVersion
+	body, err := json.Marshal(req)
+	if err != nil {
+		return JobView{}, fmt.Errorf("service: encoding request: %w", err)
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url("/api/v1/jobs"), bytes.NewReader(body))
+	if err != nil {
+		return JobView{}, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(hreq)
+	if err != nil {
+		return JobView{}, fmt.Errorf("service: submit: %w", err)
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusAccepted:
+		var view JobView
+		if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+			return JobView{}, fmt.Errorf("service: decoding job view: %w", err)
+		}
+		return view, nil
+	case http.StatusBadRequest:
+		var verr experiment.ValidationError
+		if err := json.NewDecoder(resp.Body).Decode(&verr); err == nil && len(verr.Fields) > 0 {
+			return JobView{}, &verr
+		}
+		return JobView{}, fmt.Errorf("service: submit rejected (400)")
+	default:
+		b, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return JobView{}, fmt.Errorf("service: submit: %s: %s", resp.Status, strings.TrimSpace(string(b)))
+	}
+}
+
+// Job fetches one job's current view.
+func (c *Client) Job(ctx context.Context, id string) (JobView, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url("/api/v1/jobs/"+id), nil)
+	if err != nil {
+		return JobView{}, err
+	}
+	resp, err := c.http().Do(hreq)
+	if err != nil {
+		return JobView{}, fmt.Errorf("service: job %s: %w", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return JobView{}, fmt.Errorf("service: job %s: %s", id, resp.Status)
+	}
+	var view JobView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		return JobView{}, fmt.Errorf("service: decoding job view: %w", err)
+	}
+	return view, nil
+}
+
+// Wait polls until the job leaves the queue/run states or ctx expires.
+func (c *Client) Wait(ctx context.Context, id string) (JobView, error) {
+	tick := time.NewTicker(250 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		view, err := c.Job(ctx, id)
+		if err != nil {
+			return view, err
+		}
+		if view.State == StateDone || view.State == StateFailed {
+			return view, nil
+		}
+		select {
+		case <-ctx.Done():
+			return view, ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// Artifact fetches one artifact's bytes by its stable URL path.
+func (c *Client) Artifact(ctx context.Context, art Artifact) ([]byte, error) {
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(art.URL), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("service: artifact %s: %w", art.Hash, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("service: artifact %s: %s", art.Hash, resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Run submits a request, waits for completion and returns the finished
+// view — the whole -submit flow in one call.
+func (c *Client) Run(ctx context.Context, req Request) (JobView, error) {
+	view, err := c.Submit(ctx, req)
+	if err != nil {
+		return view, err
+	}
+	if view.State == StateDone || view.State == StateFailed {
+		return view, nil
+	}
+	return c.Wait(ctx, view.ID)
+}

@@ -1,0 +1,45 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"cloudlb/internal/experiment"
+	"cloudlb/internal/metrics"
+)
+
+// TestMetricsArtifactReproducible pins the metrics.json determinism the
+// content-addressed store leans on: two executions of the same request
+// must serialize the identical filtered snapshot — host-time series
+// (real seconds inside Strategy.Plan, shard barrier waits) are excluded,
+// everything virtual is bit-reproducible.
+func TestMetricsArtifactReproducible(t *testing.T) {
+	req := Request{Method: "compare", Spec: experiment.Spec{App: experiment.Jacobi2D, Cores: []int{4},
+		Strategies: []experiment.StrategyKind{experiment.NoLB, experiment.Refine},
+		Seeds:      []int64{1}, Scale: 0.05}}
+	run := func() []byte {
+		reg := metrics.NewRegistry()
+		if _, err := execute(context.Background(), req, reg, 1, nil); err != nil {
+			t.Fatal(err)
+		}
+		b, err := deterministicMetricsJSON(reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return b
+	}
+	a, b := run(), run()
+	if !bytes.Equal(a, b) {
+		al, bl := bytes.Split(a, []byte("\n")), bytes.Split(b, []byte("\n"))
+		for i := range al {
+			if i < len(bl) && !bytes.Equal(al[i], bl[i]) {
+				t.Fatalf("metrics.json differs at line %d:\n  %s\n  %s", i, al[i], bl[i])
+			}
+		}
+		t.Fatal("metrics.json differs in length")
+	}
+	if bytes.Contains(a, []byte("charm_lb_strategy_wall_seconds_total")) {
+		t.Fatal("host-time series leaked into the metrics artifact")
+	}
+}

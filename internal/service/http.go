@@ -1,0 +1,133 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+
+	"cloudlb/internal/experiment"
+	"cloudlb/internal/service/store"
+)
+
+// maxRequestBytes bounds a submit body; a Spec is a small document.
+const maxRequestBytes = 1 << 20
+
+// Register mounts the service's versioned endpoints on mux.
+func (s *Service) Register(mux *http.ServeMux) {
+	mux.HandleFunc("POST /api/v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /api/v1/jobs", s.handleJobs)
+	mux.HandleFunc("GET /api/v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /api/v1/artifacts/{hash}", s.handleArtifact)
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxRequestBytes+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return
+	}
+	if len(body) > maxRequestBytes {
+		httpError(w, http.StatusRequestEntityTooLarge, "request body over 1 MiB")
+		return
+	}
+	req, err := ParseRequest(body)
+	if err != nil {
+		writeValidationError(w, err)
+		return
+	}
+	view, err := s.Submit(req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "5")
+		httpError(w, http.StatusServiceUnavailable, "job queue full")
+		return
+	case err != nil:
+		writeValidationError(w, err)
+		return
+	}
+	status := http.StatusAccepted
+	if view.State == StateDone {
+		status = http.StatusOK // cache hit: nothing left to wait for
+	}
+	writeJSON(w, status, view)
+}
+
+func (s *Service) handleJobs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []JobView `json:"jobs"`
+	}{Jobs: s.Jobs()})
+}
+
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	view, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	writeJSON(w, http.StatusOK, view)
+}
+
+// handleArtifact serves object bytes by content address. The name is
+// the hash, so the response is immutable and cacheable forever.
+func (s *Service) handleArtifact(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	if !store.ValidHash(hash) {
+		httpError(w, http.StatusNotFound, "bad artifact hash")
+		return
+	}
+	f, size, err := s.cfg.Store.OpenObject(hash)
+	if err != nil {
+		httpError(w, http.StatusNotFound, "no such artifact")
+		return
+	}
+	defer f.Close()
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("Content-Length", itoa64(size))
+	w.Header().Set("ETag", `"`+hash+`"`)
+	w.Header().Set("Cache-Control", "public, max-age=31536000, immutable")
+	_, _ = io.Copy(w, f)
+}
+
+func itoa64(v int64) string {
+	const digits = "0123456789"
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = digits[v%10]
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+// writeValidationError renders a *ValidationError as the documented 400
+// body {"errors":[{"field":...,"msg":...}]}; other errors get a single
+// synthetic entry so clients always parse one shape.
+func writeValidationError(w http.ResponseWriter, err error) {
+	var verr *experiment.ValidationError
+	if !errors.As(err, &verr) {
+		verr = &experiment.ValidationError{Fields: []experiment.FieldError{
+			{Field: "(request)", Msg: err.Error()},
+		}}
+	}
+	writeJSON(w, http.StatusBadRequest, verr)
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, struct {
+		Error string `json:"error"`
+	}{Error: strings.TrimSpace(msg)})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

@@ -1,0 +1,230 @@
+// Package store is a content-addressed artifact store: every object is
+// named by the hex SHA-256 of its bytes, so identical artifacts occupy
+// one file and an object's name proves its content. The scenario
+// service keeps job results here — the CSV tables, metric snapshots and
+// traces a run produces — and finds them again through small index
+// entries mapping a canonical scenario hash to the manifest object of
+// the job that computed it.
+//
+// Layout under the root directory:
+//
+//	objects/ab/abcdef…   object with hash abcdef… (fan-out on the first
+//	                     two hex digits keeps directories small)
+//	index/<name>         one line: the object hash the name points at
+//
+// Writes are atomic: objects stream through a temp file in the root and
+// are renamed into place only when fully hashed, so a crashed write can
+// never leave a half object under a valid name. Objects are immutable
+// once written; index entries may be rewritten (same-key overwrite) but
+// always point at complete objects.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Store is a content-addressed object store rooted at one directory.
+// All methods are safe for concurrent use: object writes are
+// idempotent (same bytes, same name) and renames are atomic.
+type Store struct {
+	root string
+}
+
+// Open creates (if needed) and opens a store rooted at dir.
+func Open(dir string) (*Store, error) {
+	for _, sub := range []string{"objects", "index", "tmp"} {
+		if err := os.MkdirAll(filepath.Join(dir, sub), 0o755); err != nil {
+			return nil, fmt.Errorf("store: open %s: %w", dir, err)
+		}
+	}
+	return &Store{root: dir}, nil
+}
+
+// Root returns the store's root directory.
+func (s *Store) Root() string { return s.root }
+
+// ValidHash reports whether h looks like an object name: 64 lowercase
+// hex digits. Handlers use it to reject path probes before touching the
+// filesystem.
+func ValidHash(h string) bool {
+	if len(h) != 64 {
+		return false
+	}
+	for _, c := range h {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Store) objectPath(hash string) string {
+	return filepath.Join(s.root, "objects", hash[:2], hash)
+}
+
+// Put streams r into the store and returns the hex SHA-256 the object
+// is now addressable by. The bytes are hashed while they spill to a
+// temp file; the file is renamed to its content address only on a clean
+// read, and an object that already exists is left untouched (the write
+// was a cache hit on identical bytes).
+func (s *Store) Put(r io.Reader) (string, error) {
+	tmp, err := os.CreateTemp(filepath.Join(s.root, "tmp"), "put-*")
+	if err != nil {
+		return "", fmt.Errorf("store: put: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	h := sha256.New()
+	if _, err := io.Copy(io.MultiWriter(tmp, h), r); err != nil {
+		tmp.Close()
+		return "", fmt.Errorf("store: put: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return "", fmt.Errorf("store: put: %w", err)
+	}
+	hash := hex.EncodeToString(h.Sum(nil))
+	dst := s.objectPath(hash)
+	if _, err := os.Stat(dst); err == nil {
+		return hash, nil // identical object already stored
+	}
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return "", fmt.Errorf("store: put: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		return "", fmt.Errorf("store: put: %w", err)
+	}
+	return hash, nil
+}
+
+// PutBytes is Put for in-memory artifacts.
+func (s *Store) PutBytes(b []byte) (string, error) {
+	return s.Put(strings.NewReader(string(b)))
+}
+
+// Has reports whether the object exists.
+func (s *Store) Has(hash string) bool {
+	if !ValidHash(hash) {
+		return false
+	}
+	_, err := os.Stat(s.objectPath(hash))
+	return err == nil
+}
+
+// Open returns a reader over an object's bytes along with its size.
+// The caller must close the reader.
+func (s *Store) OpenObject(hash string) (io.ReadSeekCloser, int64, error) {
+	if !ValidHash(hash) {
+		return nil, 0, fmt.Errorf("store: %w: bad hash %q", os.ErrNotExist, hash)
+	}
+	f, err := os.Open(s.objectPath(hash))
+	if err != nil {
+		return nil, 0, fmt.Errorf("store: object %s: %w", hash, err)
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, 0, fmt.Errorf("store: object %s: %w", hash, err)
+	}
+	return f, st.Size(), nil
+}
+
+// Get reads a whole object into memory.
+func (s *Store) Get(hash string) ([]byte, error) {
+	f, _, err := s.OpenObject(hash)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return io.ReadAll(f)
+}
+
+// Link points index name at an object, atomically replacing any prior
+// target. The name is the cache key (a canonical scenario hash plus a
+// method tag); the object is typically a job manifest.
+func (s *Store) Link(name, hash string) error {
+	if !validIndexName(name) {
+		return fmt.Errorf("store: bad index name %q", name)
+	}
+	if !s.Has(hash) {
+		return fmt.Errorf("store: link %s: object %s does not exist", name, hash)
+	}
+	tmp, err := os.CreateTemp(filepath.Join(s.root, "tmp"), "link-*")
+	if err != nil {
+		return fmt.Errorf("store: link %s: %w", name, err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.WriteString(hash + "\n"); err != nil {
+		tmp.Close()
+		return fmt.Errorf("store: link %s: %w", name, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("store: link %s: %w", name, err)
+	}
+	if err := os.Rename(tmp.Name(), filepath.Join(s.root, "index", name)); err != nil {
+		return fmt.Errorf("store: link %s: %w", name, err)
+	}
+	return nil
+}
+
+// Resolve follows an index name to its object hash. A missing name
+// returns os.ErrNotExist (a cache miss, not a failure); a dangling
+// entry — name present, object gone — is also reported as a miss so a
+// manually pruned objects/ tree degrades to re-computation.
+func (s *Store) Resolve(name string) (string, error) {
+	if !validIndexName(name) {
+		return "", fmt.Errorf("store: %w: bad index name %q", os.ErrNotExist, name)
+	}
+	b, err := os.ReadFile(filepath.Join(s.root, "index", name))
+	if err != nil {
+		return "", fmt.Errorf("store: resolve %s: %w", name, err)
+	}
+	hash := strings.TrimSpace(string(b))
+	if !s.Has(hash) {
+		return "", fmt.Errorf("store: resolve %s: target %s: %w", name, hash, os.ErrNotExist)
+	}
+	return hash, nil
+}
+
+// IsMiss reports whether an error from Resolve means "not cached" as
+// opposed to an I/O failure.
+func IsMiss(err error) bool { return errors.Is(err, os.ErrNotExist) }
+
+// Names lists the index entries, sorted.
+func (s *Store) Names() ([]string, error) {
+	ents, err := os.ReadDir(filepath.Join(s.root, "index"))
+	if err != nil {
+		return nil, fmt.Errorf("store: names: %w", err)
+	}
+	var names []string
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// validIndexName admits one flat path component of reasonable length:
+// hex hashes, method-tagged keys ("evaluate-<hash>"), nothing that can
+// escape index/.
+func validIndexName(name string) bool {
+	if name == "" || len(name) > 128 {
+		return false
+	}
+	for _, c := range name {
+		ok := c == '-' || c == '_' || c == '.' ||
+			(c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+		if !ok {
+			return false
+		}
+	}
+	return name[0] != '.'
+}

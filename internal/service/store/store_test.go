@@ -1,0 +1,125 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func open(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutIsContentAddressed(t *testing.T) {
+	s := open(t)
+	body := []byte("figure 2 rows\n")
+	hash, err := s.PutBytes(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sha256.Sum256(body)
+	if hash != hex.EncodeToString(want[:]) {
+		t.Fatalf("hash %s is not the SHA-256 of the content", hash)
+	}
+	if !s.Has(hash) {
+		t.Fatal("object not stored")
+	}
+	got, err := s.Get(hash)
+	if err != nil || !bytes.Equal(got, body) {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	// Same bytes, same address, one object.
+	again, err := s.Put(strings.NewReader(string(body)))
+	if err != nil || again != hash {
+		t.Fatalf("re-put: %s, %v", again, err)
+	}
+}
+
+func TestPutStreamsAtomically(t *testing.T) {
+	s := open(t)
+	if _, err := s.PutBytes(bytes.Repeat([]byte("x"), 1<<16)); err != nil {
+		t.Fatal(err)
+	}
+	// No temp residue after a clean write.
+	ents, err := os.ReadDir(filepath.Join(s.Root(), "tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("temp files left behind: %v", ents)
+	}
+}
+
+func TestLinkResolve(t *testing.T) {
+	s := open(t)
+	hash, _ := s.PutBytes([]byte("manifest"))
+	if err := s.Link("evaluate-deadbeef", hash); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Resolve("evaluate-deadbeef")
+	if err != nil || got != hash {
+		t.Fatalf("Resolve = %s, %v", got, err)
+	}
+	// Overwrite repoints.
+	hash2, _ := s.PutBytes([]byte("manifest v2"))
+	if err := s.Link("evaluate-deadbeef", hash2); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.Resolve("evaluate-deadbeef"); got != hash2 {
+		t.Fatalf("Resolve after relink = %s, want %s", got, hash2)
+	}
+	names, err := s.Names()
+	if err != nil || len(names) != 1 || names[0] != "evaluate-deadbeef" {
+		t.Fatalf("Names = %v, %v", names, err)
+	}
+}
+
+func TestResolveMiss(t *testing.T) {
+	s := open(t)
+	if _, err := s.Resolve("never-linked"); !IsMiss(err) {
+		t.Fatalf("missing name should be a miss, got %v", err)
+	}
+	// Dangling entry (object pruned) degrades to a miss.
+	hash, _ := s.PutBytes([]byte("gone soon"))
+	if err := s.Link("dangling", hash); err != nil {
+		t.Fatal(err)
+	}
+	os.Remove(filepath.Join(s.Root(), "objects", hash[:2], hash))
+	if _, err := s.Resolve("dangling"); !IsMiss(err) {
+		t.Fatalf("dangling entry should be a miss, got %v", err)
+	}
+}
+
+func TestLinkRejectsBadNames(t *testing.T) {
+	s := open(t)
+	hash, _ := s.PutBytes([]byte("x"))
+	for _, name := range []string{"", "../escape", "a/b", ".hidden", strings.Repeat("n", 200)} {
+		if err := s.Link(name, hash); err == nil {
+			t.Errorf("Link(%q) accepted", name)
+		}
+	}
+	if err := s.Link("fine", "not-a-hash"); err == nil {
+		t.Error("Link with a bad object hash accepted")
+	}
+}
+
+func TestOpenObjectRejectsBadHash(t *testing.T) {
+	s := open(t)
+	for _, h := range []string{"", "..", "ZZ", strings.Repeat("g", 64), strings.Repeat("a", 63)} {
+		if _, _, err := s.OpenObject(h); err == nil {
+			t.Errorf("OpenObject(%q) accepted", h)
+		}
+		if s.Has(h) {
+			t.Errorf("Has(%q) true", h)
+		}
+	}
+}

@@ -3,7 +3,7 @@ package telemetry
 // dashboardHTML is the entire dashboard: one self-contained page with no
 // external assets (no CDN fonts, scripts or styles), so it renders on an
 // air-gapped cluster node. It subscribes to /events for push updates and
-// falls back to polling /api/run and /api/lbsteps if the stream drops.
+// falls back to polling /api/v1/run and /api/v1/lbsteps if the stream drops.
 const dashboardHTML = `<!DOCTYPE html>
 <html lang="en">
 <head>
@@ -43,7 +43,7 @@ const dashboardHTML = `<!DOCTYPE html>
 <table id="steps"><thead><tr>
 <th>step</th><th>time</th><th>window</th><th>planned</th><th>applied</th><th>strategy&nbsp;s</th><th>max&nbsp;load&nbsp;before</th><th>max&nbsp;load&nbsp;after</th>
 </tr></thead><tbody></tbody></table>
-<p><a href="/metrics">/metrics</a> · <a href="/api/run">/api/run</a> · <a href="/api/lbsteps">/api/lbsteps</a> · <a href="/debug/pprof/">/debug/pprof/</a></p>
+<p><a href="/metrics">/metrics</a> · <a href="/api/v1/run">/api/v1/run</a> · <a href="/api/v1/lbsteps">/api/v1/lbsteps</a> · <a href="/api/v1/jobs">/api/v1/jobs</a> · <a href="/debug/pprof/">/debug/pprof/</a></p>
 <script>
 "use strict";
 var seen = 0;
@@ -83,13 +83,13 @@ function renderStep(st) {
   while (tb.children.length > 50) tb.removeChild(tb.lastChild);
 }
 function pollSteps() {
-  fetch("/api/lbsteps?since=" + seen).then(function (r) { return r.json(); }).then(function (d) {
+  fetch("/api/v1/lbsteps?since=" + seen).then(function (r) { return r.json(); }).then(function (d) {
     (d.steps || []).forEach(renderStep);
     seen = d.total;
   }).catch(function () {});
 }
 function pollRun() {
-  fetch("/api/run").then(function (r) { return r.json(); }).then(renderRun).catch(function () {});
+  fetch("/api/v1/run").then(function (r) { return r.json(); }).then(renderRun).catch(function () {});
 }
 var es = new EventSource("/events");
 es.addEventListener("progress", function (e) { renderRun(JSON.parse(e.data)); });

@@ -10,12 +10,18 @@
 // LB-step deltas over SSE, serves the standard pprof handlers, and hosts
 // a single self-contained HTML dashboard:
 //
-//	GET /              dashboard (no external assets)
-//	GET /metrics       Prometheus 0.0.4 text, gathered live
-//	GET /api/run       JSON fleet progress (RunState)
-//	GET /api/lbsteps   JSON LB-step timeline (?since=N for deltas)
-//	GET /events        SSE: progress, lbstep, done events
-//	GET /debug/pprof/  net/http/pprof
+//	GET /                  dashboard (no external assets)
+//	GET /metrics           Prometheus 0.0.4 text, gathered live
+//	GET /api/v1/run        JSON fleet progress (RunState)
+//	GET /api/v1/lbsteps    JSON LB-step timeline (?since=N for deltas)
+//	GET /api/v1/metrics    alias of /metrics under the versioned surface
+//	GET /events            SSE: progress, lbstep, job, done events
+//	GET /debug/pprof/      net/http/pprof
+//
+// The pre-v1 spellings /api/run and /api/lbsteps answer with permanent
+// (308) redirects to their /api/v1 homes. The scenario service
+// (internal/service) mounts its /api/v1/jobs and /api/v1/artifacts
+// endpoints on the same mux via Handle.
 //
 // Everything served is backed by atomics or mutex-guarded copies, so
 // scrapes never touch live scheduler state (see machine.PublishMetrics)
@@ -66,9 +72,14 @@ func NewServer(reg *metrics.Registry, tl *metrics.LBTimeline, tracker *RunTracke
 	})
 	s.mux.HandleFunc("GET /{$}", s.handleDashboard)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	s.mux.HandleFunc("GET /api/run", s.handleRun)
-	s.mux.HandleFunc("GET /api/lbsteps", s.handleLBSteps)
+	s.mux.HandleFunc("GET /api/v1/run", s.handleRun)
+	s.mux.HandleFunc("GET /api/v1/lbsteps", s.handleLBSteps)
+	s.mux.HandleFunc("GET /api/v1/metrics", s.handleMetrics)
 	s.mux.HandleFunc("GET /events", s.handleEvents)
+	// The pre-v1 paths remain as permanent redirects so existing scrape
+	// configs and dashboards keep working; 308 preserves method and query.
+	s.mux.HandleFunc("/api/run", redirectV1("/api/v1/run"))
+	s.mux.HandleFunc("/api/lbsteps", redirectV1("/api/v1/lbsteps"))
 	s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -77,8 +88,29 @@ func NewServer(reg *metrics.Registry, tl *metrics.LBTimeline, tracker *RunTracke
 	return s
 }
 
+// redirectV1 maps a legacy path onto its /api/v1 home, preserving the
+// query string. 308 (not 301) keeps the method across the hop.
+func redirectV1(target string) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		dst := target
+		if r.URL.RawQuery != "" {
+			dst += "?" + r.URL.RawQuery
+		}
+		http.Redirect(w, r, dst, http.StatusPermanentRedirect)
+	}
+}
+
 // Handler exposes the routed endpoints (httptest hosts this directly).
 func (s *Server) Handler() http.Handler { return s.mux }
+
+// Handle mounts additional routes on the server's mux — the scenario
+// service registers its /api/v1/jobs and /api/v1/artifacts endpoints
+// through this, so one listener serves telemetry and jobs.
+func (s *Server) Handle(register func(mux *http.ServeMux)) { register(s.mux) }
+
+// Broadcast pushes a named JSON event to every /events subscriber (the
+// scenario service announces job transitions here).
+func (s *Server) Broadcast(name string, v any) { s.hub.broadcast(name, v) }
 
 // Start listens on addr (":0" picks a free port) and serves in the
 // background. It returns the bound address for the caller to print.

@@ -62,7 +62,7 @@ func TestRunEndpoint(t *testing.T) {
 	tracker.BatchQueued(3)
 	tracker.ScenarioStarted(0)
 	tracker.ScenarioDone(0, 50*time.Millisecond, 1000)
-	code, body, hdr := get(t, ts.URL+"/api/run")
+	code, body, hdr := get(t, ts.URL+"/api/v1/run")
 	if code != http.StatusOK {
 		t.Fatalf("status %d", code)
 	}
@@ -93,7 +93,7 @@ func TestLBStepsEndpoint(t *testing.T) {
 		Total int              `json:"total"`
 		Steps []metrics.LBStep `json:"steps"`
 	}
-	code, body, _ := get(t, ts.URL+"/api/lbsteps")
+	code, body, _ := get(t, ts.URL+"/api/v1/lbsteps")
 	if code != http.StatusOK {
 		t.Fatalf("status %d", code)
 	}
@@ -103,7 +103,7 @@ func TestLBStepsEndpoint(t *testing.T) {
 	if doc.Total != 2 || len(doc.Steps) != 2 || doc.Steps[0].MovesApplied != 2 {
 		t.Fatalf("full read wrong: %+v", doc)
 	}
-	code, body, _ = get(t, ts.URL+"/api/lbsteps?since=1")
+	code, body, _ = get(t, ts.URL+"/api/v1/lbsteps?since=1")
 	if code != http.StatusOK {
 		t.Fatalf("status %d", code)
 	}
@@ -113,7 +113,7 @@ func TestLBStepsEndpoint(t *testing.T) {
 	if doc.Since != 1 || len(doc.Steps) != 1 || doc.Steps[0].Step != 2 {
 		t.Fatalf("delta read wrong: %+v", doc)
 	}
-	if code, _, _ = get(t, ts.URL+"/api/lbsteps?since=x"); code != http.StatusBadRequest {
+	if code, _, _ = get(t, ts.URL+"/api/v1/lbsteps?since=x"); code != http.StatusBadRequest {
 		t.Fatalf("bad since: status %d, want 400", code)
 	}
 }
@@ -127,7 +127,7 @@ func TestDashboardAndRouting(t *testing.T) {
 	if !strings.Contains(hdr.Get("Content-Type"), "text/html") {
 		t.Fatalf("content type %q", hdr.Get("Content-Type"))
 	}
-	for _, want := range []string{"<!DOCTYPE html>", "/api/run", "/api/lbsteps", "EventSource"} {
+	for _, want := range []string{"<!DOCTYPE html>", "/api/v1/run", "/api/v1/lbsteps", "EventSource"} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("dashboard missing %q", want)
 		}
@@ -282,7 +282,7 @@ func TestConcurrentScrape(t *testing.T) {
 	_, reg, tl, tracker, ts := newTestServer(t)
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
-	for _, path := range []string{"/metrics", "/api/run", "/api/lbsteps"} {
+	for _, path := range []string{"/metrics", "/api/v1/run", "/api/v1/lbsteps", "/api/v1/metrics"} {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -314,4 +314,87 @@ func TestConcurrentScrape(t *testing.T) {
 	if tracker.State().ScenariosDone == 0 {
 		t.Fatal("tracker saw no scenarios")
 	}
+}
+
+// TestLegacyRedirects pins the v1 migration contract: the pre-v1 paths
+// answer 308 with the v1 location, query string intact, and still reach
+// the data when the redirect is followed.
+func TestLegacyRedirects(t *testing.T) {
+	_, _, tl, _, ts := newTestServer(t)
+	tl.Append(metrics.LBStep{Step: 1, Time: 1.5})
+
+	noFollow := &http.Client{CheckRedirect: func(*http.Request, []*http.Request) error {
+		return http.ErrUseLastResponse
+	}}
+	cases := map[string]string{
+		"/api/run":             "/api/v1/run",
+		"/api/lbsteps":         "/api/v1/lbsteps",
+		"/api/lbsteps?since=1": "/api/v1/lbsteps?since=1",
+	}
+	for old, want := range cases {
+		resp, err := noFollow.Get(ts.URL + old)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusPermanentRedirect {
+			t.Fatalf("%s: status %d, want 308", old, resp.StatusCode)
+		}
+		if loc := resp.Header.Get("Location"); loc != want {
+			t.Fatalf("%s: Location %q, want %q", old, loc, want)
+		}
+	}
+	// A default client walks through the hop transparently.
+	code, body, _ := get(t, ts.URL+"/api/lbsteps?since=0")
+	if code != http.StatusOK || !strings.Contains(body, `"total": 1`) {
+		t.Fatalf("followed redirect: %d\n%s", code, body)
+	}
+}
+
+// TestHandleAndBroadcast covers the extension points the scenario
+// service mounts through: extra routes on the shared mux, and named SSE
+// events reaching /events subscribers.
+func TestHandleAndBroadcast(t *testing.T) {
+	srv, _, _, _, ts := newTestServer(t)
+	srv.Handle(func(mux *http.ServeMux) {
+		mux.HandleFunc("GET /api/v1/extra", func(w http.ResponseWriter, _ *http.Request) {
+			_, _ = w.Write([]byte("mounted"))
+		})
+	})
+	if code, body, _ := get(t, ts.URL+"/api/v1/extra"); code != http.StatusOK || body != "mounted" {
+		t.Fatalf("mounted route: %d %q", code, body)
+	}
+
+	resp, err := http.Get(ts.URL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	events := make(chan string, 4)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			events <- sc.Text()
+		}
+	}()
+	// The initial progress event confirms the subscription is live
+	// before broadcasting.
+	waitFor := func(want string) {
+		t.Helper()
+		deadline := time.After(5 * time.Second)
+		for {
+			select {
+			case line := <-events:
+				if strings.Contains(line, want) {
+					return
+				}
+			case <-deadline:
+				t.Fatalf("no %q event on /events", want)
+			}
+		}
+	}
+	waitFor("event: progress")
+	srv.Broadcast("job", map[string]string{"id": "job-1", "state": "done"})
+	waitFor("event: job")
+	waitFor(`"job-1"`)
 }

@@ -64,11 +64,12 @@ type Link struct {
 	// messages flowing Src -> Dst only; list both directions for a
 	// symmetric link. When the same pair appears more than once the last
 	// entry wins.
-	Src, Dst int
+	Src int `json:"src"`
+	Dst int `json:"dst"`
 	// Latency and Bandwidth replace the base inter-node values for this
 	// link; a zero field inherits the base value.
-	Latency   float64 // seconds
-	Bandwidth float64 // bytes/second
+	Latency   float64 `json:"latency,omitempty"`   // seconds
+	Bandwidth float64 `json:"bandwidth,omitempty"` // bytes/second
 }
 
 // Config holds the interconnect parameters. It is a plain serializable
@@ -78,41 +79,41 @@ type Link struct {
 type Config struct {
 	// IntraNodeLatency and IntraNodeBandwidth describe core-to-core
 	// transfers within a node (shared memory copy).
-	IntraNodeLatency   float64 // seconds
-	IntraNodeBandwidth float64 // bytes/second
+	IntraNodeLatency   float64 `json:"intra_node_latency,omitempty"`   // seconds
+	IntraNodeBandwidth float64 `json:"intra_node_bandwidth,omitempty"` // bytes/second
 	// InterNodeLatency and InterNodeBandwidth describe transfers between
 	// nodes (the commodity Ethernet of a cloud data center).
-	InterNodeLatency   float64 // seconds
-	InterNodeBandwidth float64 // bytes/second
+	InterNodeLatency   float64 `json:"inter_node_latency,omitempty"`   // seconds
+	InterNodeBandwidth float64 `json:"inter_node_bandwidth,omitempty"` // bytes/second
 
 	// Links gives individual directed node pairs their own latency and
 	// bandwidth (heterogeneous topologies, oversubscribed uplinks).
-	Links []Link
+	Links []Link `json:"links,omitempty"`
 
 	// StragglerNodes lists nodes with persistently slow network paths:
 	// every inter-node link touching one has its effective latency
 	// multiplied and bandwidth divided by StragglerFactor, applied after
 	// Links overrides. StragglerFactor 1 (or an empty node set) is a
 	// no-op; Resolved fills a zero factor with 1.
-	StragglerNodes  []int
-	StragglerFactor float64
+	StragglerNodes  []int   `json:"straggler_nodes,omitempty"`
+	StragglerFactor float64 `json:"straggler_factor,omitempty"`
 
 	// DropPct is the percentage [0, 100) of inter-node transmissions
 	// lost before delivery. Each lost transmission is retransmitted
 	// after a timeout; see RetransmitTimeout and MaxAttempts.
-	DropPct float64
+	DropPct float64 `json:"drop_pct,omitempty"`
 	// Seed drives the drop lottery. The same seed always loses the same
 	// transmissions, at any shard count.
-	Seed int64
+	Seed int64 `json:"seed,omitempty"`
 	// RetransmitTimeout is how long the sender waits for an ack after a
 	// transmission ends before resending; it doubles after every loss
 	// (exponential backoff). Resolved defaults it to 4x the resolved
 	// inter-node latency.
-	RetransmitTimeout float64 // seconds
+	RetransmitTimeout float64 `json:"retransmit_timeout,omitempty"` // seconds
 	// MaxAttempts bounds transmissions per message; the final attempt
 	// always delivers (see the package comment). Resolved defaults it
 	// to 5.
-	MaxAttempts int
+	MaxAttempts int `json:"max_attempts,omitempty"`
 }
 
 // DefaultConfig models commodity gigabit Ethernet between nodes and shared
