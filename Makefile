@@ -9,7 +9,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint race check bench benchjson determinism verify-results figures metrics-smoke serve-smoke service-smoke net-smoke diffusion-smoke
+.PHONY: build test vet lint race check bench benchjson determinism verify-results figures metrics-smoke serve-smoke service-smoke net-smoke diffusion-smoke obs-smoke
 
 build:
 	$(GO) build ./...
@@ -39,7 +39,7 @@ lint: vet
 race:
 	$(GO) test -race ./...
 
-check: build lint test race bench serve-smoke service-smoke net-smoke diffusion-smoke determinism
+check: build lint test race bench serve-smoke service-smoke net-smoke diffusion-smoke obs-smoke determinism
 
 # Benchmark smoke: every benchmark runs exactly one iteration. Catches
 # bench bodies that rot (they only compile under -bench) without paying
@@ -140,6 +140,10 @@ serve-smoke:
 	code=$$(curl -s -o /dev/null -w '%{http_code}' "http://$$addr/api/run"); \
 	[ "$$code" = "308" ] || { echo "serve-smoke: legacy /api/run answered $$code, want 308"; fail=1; }; \
 	curl -sf "http://$$addr/" | grep -q '<!DOCTYPE html>' || { echo "serve-smoke: dashboard missing"; fail=1; }; \
+	hcode=$$(curl -s -o /dev/null -w '%{http_code}' "http://$$addr/healthz"); \
+	[ "$$hcode" = "200" ] || { echo "serve-smoke: /healthz answered $$hcode, want 200"; fail=1; }; \
+	rcode=$$(curl -s -o /dev/null -w '%{http_code}' "http://$$addr/readyz"); \
+	[ "$$rcode" = "200" ] || { echo "serve-smoke: /readyz answered $$rcode, want 200"; fail=1; }; \
 	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; rm -f "$$log"; \
 	[ $$fail -eq 0 ] || exit 1; \
 	echo "serve-smoke: all endpoints OK on $$addr"
@@ -179,6 +183,48 @@ service-smoke:
 	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; rm -rf "$$log" "$$storedir"; \
 	[ $$fail -eq 0 ] || exit 1; \
 	echo "service-smoke: cached resubmission OK on $$addr ($$(echo "$$arts1" | wc -l) artifacts, $$events1 events)"
+
+# Observability smoke: boot lbsim as an evaluation server with JSON
+# logging on, submit a Spec, and assert the tracing contract end to end:
+# server stderr carries JSON log lines tagged with the job's trace ID,
+# the job exports a well-formed Chrome trace_spans.json artifact with
+# the expected spans, /healthz and /readyz answer 200, and resubmitting
+# the same Spec logs a cache hit instead of recomputing.
+obs-smoke:
+	@$(GO) build -o /tmp/lbsim-obs-smoke ./cmd/lbsim; \
+	log=$$(mktemp); storedir=$$(mktemp -d); \
+	/tmp/lbsim-obs-smoke -app jacobi2d -cores 4 -scale 0.05 \
+		-serve 127.0.0.1:0 -store "$$storedir" -log info -serve-wait 60s >/dev/null 2>"$$log" & \
+	pid=$$!; \
+	addr=""; \
+	for i in $$(seq 1 100); do \
+		addr=$$(sed -n 's|^telemetry: serving on http://\([^/]*\)/$$|\1|p' "$$log"); \
+		[ -n "$$addr" ] && break; \
+		kill -0 $$pid 2>/dev/null || { echo "obs-smoke: server exited early"; cat "$$log"; rm -rf "$$log" "$$storedir"; exit 1; }; \
+		sleep 0.1; \
+	done; \
+	[ -n "$$addr" ] || { echo "obs-smoke: no serving address in stderr"; cat "$$log"; kill $$pid; rm -rf "$$log" "$$storedir"; exit 1; }; \
+	fail=0; \
+	hcode=$$(curl -s -o /dev/null -w '%{http_code}' "http://$$addr/healthz"); \
+	[ "$$hcode" = "200" ] || { echo "obs-smoke: /healthz answered $$hcode, want 200"; fail=1; }; \
+	rcode=$$(curl -s -o /dev/null -w '%{http_code}' "http://$$addr/readyz"); \
+	[ "$$rcode" = "200" ] || { echo "obs-smoke: /readyz answered $$rcode, want 200"; fail=1; }; \
+	first=$$(/tmp/lbsim-obs-smoke -app wave2d -cores 8 -strategy refine -bg -scale 0.05 \
+		-submit "http://$$addr") || { echo "obs-smoke: submit failed"; fail=1; }; \
+	echo "$$first" | grep -q "(computed, spec" || { echo "obs-smoke: first submit was not computed"; fail=1; }; \
+	grep '"trace_id":"job-' "$$log" | head -1 | jq -e '.msg and .trace_id' >/dev/null 2>&1 || { \
+		echo "obs-smoke: no JSON log line carrying a job trace ID"; fail=1; }; \
+	spanurl=$$(echo "$$first" | sed -n 's/^artifact: *trace_spans\.json *\([^ ]*\).*/\1/p'); \
+	[ -n "$$spanurl" ] || { echo "obs-smoke: no trace_spans.json artifact in submit output"; fail=1; }; \
+	curl -sf "$$spanurl" | jq -e 'type == "array" and length > 0 and ([.[] | select(.ph == "X" and .name == "execute")] | length) >= 1 and ([.[] | select(.ph == "X" and .name == "cache-lookup")] | length) >= 1 and all(.[]; has("ph"))' >/dev/null || { \
+		echo "obs-smoke: trace_spans.json is not a well-formed Chrome span array"; fail=1; }; \
+	second=$$(/tmp/lbsim-obs-smoke -app wave2d -cores 8 -strategy refine -bg -scale 0.05 \
+		-submit "http://$$addr") || { echo "obs-smoke: second submit failed"; fail=1; }; \
+	echo "$$second" | grep -q "(cache hit, spec" || { echo "obs-smoke: second submit missed the cache"; fail=1; }; \
+	grep -q '"msg":"cache hit"' "$$log" || { echo "obs-smoke: cache hit was not logged"; fail=1; }; \
+	kill $$pid 2>/dev/null; wait $$pid 2>/dev/null; rm -rf "$$log" "$$storedir"; \
+	[ $$fail -eq 0 ] || exit 1; \
+	echo "obs-smoke: logs, spans and health endpoints OK on $$addr"
 
 # Regenerate the committed results/ tree (byte-identical at any -parallel).
 # Figures 5 (elasticity) and 6 (network interference) are the cloud

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"cloudlb/internal/experiment"
+	"cloudlb/internal/obs"
 	"cloudlb/internal/plot"
 	"cloudlb/internal/profiling"
 	"cloudlb/internal/runner"
@@ -148,6 +149,18 @@ func main() {
 	// never touch stdout, so the oracle stays byte-identical either way.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	// -log attaches a run trace to the context so every figure's batches
+	// record their spans (and WARN-level anomalies) against one trace ID.
+	log, err := prof.Logger()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(2)
+	}
+	if log != nil {
+		tr := obs.NewTrace("figures", log)
+		ctx = obs.NewContext(ctx, tr)
+		log.Info("figures run starting", "trace_id", tr.ID(), "fig", *fig, "seeds", *seedN)
+	}
 	pool := &runner.Pool{Workers: *parallel, Metrics: prof.Registry(), Progress: prof.Tracker()}
 	opts := experiment.Options{Executor: pool.Executor(), Metrics: prof.Registry(), LBTimeline: prof.Timeline(), Shards: shards, Net: netCfg}
 	start := time.Now()

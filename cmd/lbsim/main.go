@@ -30,6 +30,7 @@ import (
 
 	"cloudlb/internal/elastic"
 	"cloudlb/internal/experiment"
+	"cloudlb/internal/obs"
 	"cloudlb/internal/profiling"
 	"cloudlb/internal/runner"
 	"cloudlb/internal/service"
@@ -88,6 +89,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "concurrent scenario workers (0 = GOMAXPROCS)")
 	scale := flag.Float64("scale", 1.0, "iteration-count scale factor")
 	chromePath := flag.String("chrome", "", "write a Chrome trace-event JSON of the run to this path (single run only)")
+	spanPath := flag.String("trace-spans", "", "write a Chrome trace-event JSON of the run's host-time job spans (queue wait, per-scenario execution, LB steps, barrier stalls) to this path; merges the -chrome virtual-time trace when both are set")
 	hier := flag.Bool("hier", false, "use the hierarchical (tree) LB gather instead of the flat gather")
 	diffRounds := flag.Int("diffrounds", 0, "DiffusionLB: max neighbor-exchange rounds per LB step (0 = default 16)")
 	diffTol := flag.Float64("difftol", 0, "DiffusionLB: convergence band as a fraction of the average load (0 = default 0.05)")
@@ -216,12 +218,31 @@ func main() {
 		batch[0].Trace = rec
 	}
 
+	// -trace-spans (or -log) attaches a job trace to the in-process run:
+	// the pool, scheduler, runtime and network record their host-time spans
+	// on it exactly as they would for a service job.
+	log, err := prof.Logger()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lbsim:", err)
+		os.Exit(2)
+	}
+	var tr *obs.Trace
+	if *spanPath != "" || log != nil {
+		tr = obs.NewTrace("lbsim", log)
+		ctx = obs.NewContext(ctx, tr)
+	}
+	log.Info("run starting", "trace_id", tr.ID(), "app", appKind.String(),
+		"cores", *cores, "strategy", stratKind.String(), "runs", *runs, "shards", nShards)
+
 	pool := &runner.Pool{Workers: *parallel, Metrics: prof.Registry(), Progress: prof.Tracker()}
 	results, batchStats, err := pool.RunBatch(ctx, batch)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lbsim:", err)
 		os.Exit(1)
 	}
+	log.Info("run complete", "trace_id", tr.ID(),
+		"events", batchStats.Events, "wall_s", batchStats.Wall.Seconds(),
+		"spans", len(tr.Spans()))
 
 	if *runs == 1 {
 		res := results[0]
@@ -268,6 +289,27 @@ func main() {
 		}
 		f.Close()
 		fmt.Printf("trace:          %s\n", *chromePath)
+	}
+
+	if *spanPath != "" {
+		var simTrace []byte
+		if rec != nil {
+			simTrace, err = rec.ChromeTraceJSON()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "lbsim:", err)
+				os.Exit(1)
+			}
+		}
+		spans, err := tr.ChromeJSON(simTrace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lbsim:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*spanPath, spans, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "lbsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace spans:    %s (%d spans)\n", *spanPath, len(tr.Spans()))
 	}
 
 	if err := stopProfiles(); err != nil {

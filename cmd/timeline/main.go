@@ -98,6 +98,13 @@ func main() {
 	interfere.StartHog(mach, interfere.HogConfig{Core: 1, Start: sim.Time(*hog1), Stop: sim.Time(*hog1stop), Trace: rec, Name: "vm-a"})
 	interfere.StartHog(mach, interfere.HogConfig{Core: 3, Start: sim.Time(*hog2), Stop: sim.Time(*hog2stop), Trace: rec, Name: "vm-b"})
 
+	log, err := prof.Logger()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "timeline:", err)
+		os.Exit(2)
+	}
+	log.Info("timeline run starting", "strategy", *strategy, "iters", *iters)
+
 	tracker := prof.Tracker()
 	tracker.BatchQueued(1)
 	tracker.ScenarioStarted(0)
@@ -112,6 +119,8 @@ func main() {
 	}
 	mach.PublishMetrics()
 	tracker.ScenarioDone(0, time.Since(t0), eng.Executed())
+	log.Info("timeline run complete", "wall_s", time.Since(t0).Seconds(),
+		"events", eng.Executed(), "migrations", rts.Migrations(), "lb_steps", rts.LBSteps())
 	finish := rts.FinishTime()
 	fmt.Printf("Wave2D (%s) finished at %.2fs, %d migrations, %d LB steps\n\n",
 		*strategy, float64(finish), rts.Migrations(), rts.LBSteps())

@@ -25,6 +25,7 @@ import (
 	"cloudlb/internal/core"
 	"cloudlb/internal/machine"
 	"cloudlb/internal/metrics"
+	"cloudlb/internal/obs"
 	"cloudlb/internal/sim"
 	"cloudlb/internal/trace"
 	"cloudlb/internal/xnet"
@@ -162,6 +163,12 @@ type Config struct {
 	// LBTimeline, when non-nil, accumulates one row per LB step (moves
 	// planned/applied, strategy wall time, per-PE loads before/after).
 	LBTimeline *metrics.LBTimeline
+	// Obs, when non-nil, is the job trace this runtime records LB-step
+	// spans on (host wall time around Strategy.Plan, row ObsTID). Nil
+	// disables tracing at zero cost.
+	Obs *obs.Trace
+	// ObsTID is the trace row (Chrome thread ID) for this runtime's spans.
+	ObsTID int
 }
 
 // RTS is a runtime instance.

@@ -5,6 +5,7 @@ import (
 	"slices"
 
 	"cloudlb/internal/core"
+	"cloudlb/internal/obs"
 	"cloudlb/internal/sim"
 	"cloudlb/internal/trace"
 )
@@ -249,9 +250,15 @@ func (r *RTS) planMoves(stats *core.Stats, wallSince sim.Time) (outs [][]core.Mo
 	// instr is nil unless metrics or an LB timeline are attached; all its
 	// methods are nil-safe, so the uninstrumented path stays unchanged.
 	instr := r.met.beginStep(r.lbSteps+1, r.pes[0].eng.Now(), wallSince, stats)
+	// The LB-step span measures the strategy's host wall time — the real
+	// CPU cost of planning, which the anomaly thresholds watch — while the
+	// args carry the virtual-time context (step number, input size, plan).
+	stepSpan := r.cfg.Obs.Start(obs.CatLB, "lb-step", r.cfg.ObsTID)
 	instr.planStart()
 	moves = r.cfg.Strategy.Plan(*stats)
 	instr.planDone(moves)
+	stepSpan.End("rts", r.name, "step", r.lbSteps+1,
+		"pes", len(stats.Cores), "tasks", len(stats.Tasks), "moves", len(moves))
 	// Drop no-op moves defensively.
 	outs, ins = r.outsScratch, r.insScratch
 	for i := range outs {

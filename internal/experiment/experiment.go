@@ -21,6 +21,7 @@ import (
 	"cloudlb/internal/lb"
 	"cloudlb/internal/machine"
 	"cloudlb/internal/metrics"
+	"cloudlb/internal/obs"
 	"cloudlb/internal/power"
 	"cloudlb/internal/sim"
 	"cloudlb/internal/trace"
@@ -205,6 +206,16 @@ type Scenario struct {
 	// LBTimeline, when non-nil, accumulates one row per application LB
 	// step (see metrics.LBTimeline).
 	LBTimeline *metrics.LBTimeline
+	// Obs, when non-nil, records host-time spans for the run's internal
+	// intervals — the engine drive loop, shard window barrier stalls,
+	// AtSync/LB rounds, retransmit bursts — on the job trace the service
+	// (or a -trace-spans CLI run) threads through the context. Nil
+	// disables span recording; the guard is a single pointer check, so
+	// the simulation hot paths stay allocation-free.
+	Obs *obs.Trace
+	// ObsTID is the Chrome-trace thread row Obs spans land on, so one
+	// job's scenarios render as separate waterfall rows.
+	ObsTID int
 	// MaxVirtualTime bounds the simulation (default 10000 s).
 	MaxVirtualTime sim.Time
 	// Shards selects the event scheduler. 0 or 1 runs the classic
@@ -392,6 +403,10 @@ func Run(s Scenario) Result {
 	mach := testbed(eng, sh, nodes, s.InteractivityBonus, s.Metrics)
 	net := xnet.New(mach, netCfg)
 	net.SetMetrics(s.Metrics)
+	if s.Obs != nil {
+		sh.SetObs(s.Obs, s.ObsTID)
+		net.SetObs(s.Obs, s.ObsTID)
+	}
 	rng := rand.New(rand.NewSource(s.Seed*2654435761 + 12345))
 
 	var appRTS *charm.RTS
@@ -418,6 +433,8 @@ func Run(s Scenario) Result {
 			Name:           "app",
 			Metrics:        s.Metrics,
 			LBTimeline:     s.LBTimeline,
+			Obs:            s.Obs,
+			ObsTID:         s.ObsTID,
 		})
 		buildApp(appRTS, s, rng)
 		s.Faults.Apply(appRTS)
@@ -499,6 +516,7 @@ func Run(s Scenario) Result {
 		}
 		return true
 	}
+	driveSpan := s.Obs.Start(obs.CatSim, "sim-drive", s.ObsTID)
 	if sh != nil {
 		for !finished() && sh.Now() < s.MaxVirtualTime {
 			if err := sh.RunUntil(sh.Now() + 1); err != nil {
@@ -545,7 +563,18 @@ func Run(s Scenario) Result {
 	} else {
 		res.Events = eng.Executed()
 	}
+	driveSpan.End("events", res.Events, "shards", nShards,
+		"virtual_s", finiteOrZero(res.AppWall), "lb_steps", res.LBSteps)
 	return res
+}
+
+// finiteOrZero keeps NaN walls (background-only runs) out of span args
+// — encoding/json rejects NaN.
+func finiteOrZero(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
 }
 
 // Workload sizing (weak scaling: 32 chares per core, fixed per-chare

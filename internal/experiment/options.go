@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"cloudlb/internal/metrics"
+	"cloudlb/internal/obs"
 	"cloudlb/internal/xnet"
 )
 
@@ -61,6 +62,17 @@ func (o Options) run(ctx context.Context, batch []Scenario) ([]Result, error) {
 			}
 			if !o.Net.IsZero() && batch[i].Net.IsZero() {
 				batch[i].Net = o.Net
+			}
+		}
+	}
+	// A job trace riding the context reaches every scenario of every
+	// batch the Spec methods dispatch, whatever executor runs them; each
+	// scenario takes its own Chrome-trace thread row.
+	if tr := obs.FromContext(ctx); tr != nil {
+		for i := range batch {
+			if batch[i].Obs == nil {
+				batch[i].Obs = tr
+				batch[i].ObsTID = tr.NextTID()
 			}
 		}
 	}

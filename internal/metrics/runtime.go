@@ -1,0 +1,58 @@
+package metrics
+
+import (
+	"runtime"
+	"sync"
+)
+
+// RegisterRuntimeCollector wires Go runtime health series into r,
+// refreshed at every Gather (scrape): goroutine count, heap bytes, a
+// GC pause histogram, GC cycle count and GOMAXPROCS. The telemetry
+// server registers this on its live registry so a /metrics scrape of a
+// long evaluation server shows the process, not just the simulation.
+// Nil-safe and idempotent like the rest of the registry surface.
+func RegisterRuntimeCollector(r *Registry) {
+	if r == nil {
+		return
+	}
+	goroutines := r.Gauge("go_goroutines", "Number of live goroutines.")
+	heap := r.Gauge("go_heap_alloc_bytes", "Bytes of allocated heap objects.")
+	heapSys := r.Gauge("go_heap_sys_bytes", "Bytes of heap memory obtained from the OS.")
+	gomaxprocs := r.Gauge("go_gomaxprocs", "Current GOMAXPROCS value.")
+	gcCycles := r.Counter("go_gc_cycles_total", "Completed GC cycles.")
+	pauses := r.Histogram("go_gc_pause_seconds", "Stop-the-world GC pause durations.",
+		ExpBuckets(1e-6, 4, 10))
+
+	// The pause ring (MemStats.PauseNs) is cumulative; track the last
+	// consumed cycle so each pause is observed exactly once across
+	// scrapes. The collector runs under Gather's collector pass, which
+	// serializes calls, but keep local state guarded anyway — registries
+	// are shared and Gather may be called from several scrapers.
+	var mu sync.Mutex
+	var lastGC uint32
+	var lastCycles uint32
+	r.RegisterCollector(func() {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		goroutines.Set(float64(runtime.NumGoroutine()))
+		heap.Set(float64(ms.HeapAlloc))
+		heapSys.Set(float64(ms.HeapSys))
+		gomaxprocs.Set(float64(runtime.GOMAXPROCS(0)))
+
+		mu.Lock()
+		defer mu.Unlock()
+		if n := ms.NumGC - lastCycles; n > 0 {
+			gcCycles.Add(uint64(n))
+			lastCycles = ms.NumGC
+		}
+		// Observe each new pause once; the ring holds the last 256.
+		from := lastGC
+		if ms.NumGC-from > uint32(len(ms.PauseNs)) {
+			from = ms.NumGC - uint32(len(ms.PauseNs))
+		}
+		for i := from; i < ms.NumGC; i++ {
+			pauses.Observe(float64(ms.PauseNs[i%uint32(len(ms.PauseNs))]) / 1e9)
+		}
+		lastGC = ms.NumGC
+	})
+}

@@ -1,0 +1,75 @@
+package metrics
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestRuntimeCollector checks the Go runtime series land in a gather
+// and in the Prometheus export, that GC pauses are observed once per
+// cycle across scrapes, and that a nil registry is a no-op.
+func TestRuntimeCollector(t *testing.T) {
+	RegisterRuntimeCollector(nil) // must not panic
+
+	r := NewRegistry()
+	RegisterRuntimeCollector(r)
+	runtime.GC()
+	snap := r.Gather()
+	byName := map[string]float64{}
+	for _, s := range snap.Series {
+		byName[s.Name] = s.Value
+	}
+	if byName["go_goroutines"] < 1 {
+		t.Fatalf("go_goroutines = %v, want >= 1", byName["go_goroutines"])
+	}
+	if byName["go_heap_alloc_bytes"] <= 0 {
+		t.Fatalf("go_heap_alloc_bytes = %v, want > 0", byName["go_heap_alloc_bytes"])
+	}
+	if byName["go_gomaxprocs"] < 1 {
+		t.Fatalf("go_gomaxprocs = %v, want >= 1", byName["go_gomaxprocs"])
+	}
+	if byName["go_gc_cycles_total"] < 1 {
+		t.Fatalf("go_gc_cycles_total = %v, want >= 1 after runtime.GC()", byName["go_gc_cycles_total"])
+	}
+
+	// Pause observations must not double-count across scrapes: force one
+	// more cycle and check the histogram count advanced by at least one
+	// but no more than the number of new cycles.
+	var before, after uint64
+	for _, s := range snap.Series {
+		if s.Name == "go_gc_pause_seconds" {
+			before = s.Count
+		}
+	}
+	runtime.GC()
+	snap2 := r.Gather()
+	var cyclesBefore, cyclesAfter float64
+	cyclesBefore = byName["go_gc_cycles_total"]
+	for _, s := range snap2.Series {
+		switch s.Name {
+		case "go_gc_pause_seconds":
+			after = s.Count
+		case "go_gc_cycles_total":
+			cyclesAfter = s.Value
+		}
+	}
+	newCycles := uint64(cyclesAfter - cyclesBefore)
+	if after < before+1 || after > before+newCycles {
+		t.Fatalf("pause count %d -> %d over %d new cycles: pauses not observed exactly once",
+			before, after, newCycles)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, series := range []string{"go_goroutines", "go_heap_alloc_bytes", "go_gomaxprocs",
+		"go_gc_cycles_total", "go_gc_pause_seconds_bucket"} {
+		if !strings.Contains(out, series) {
+			t.Fatalf("Prometheus export missing %s:\n%s", series, out)
+		}
+	}
+}

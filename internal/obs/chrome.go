@@ -1,0 +1,135 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Chrome trace-event PIDs: the sim recorder (trace.WriteChromeTrace)
+// emits its per-core rows under pid 0 in virtual time; job spans live
+// under pid 1 in host time. The two clocks share one timeline only
+// nominally, but chrome://tracing renders them as separate process
+// groups, which is exactly the reading the waterfall needs.
+const (
+	simPID = 0
+	jobPID = 1
+)
+
+// chromeSpan is one trace-event entry ("X" complete, "i" instant,
+// "M" metadata), shaped to match internal/trace's exporter.
+type chromeSpan struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`            // microseconds
+	Dur   float64        `json:"dur,omitempty"` // microseconds
+	PID   int            `json:"pid"`
+	TID   int            `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// ChromeJSON renders the trace as a Chrome trace-event JSON array —
+// loadable in chrome://tracing or ui.perfetto.dev — merging in the raw
+// events of an existing Chrome trace document (the sim recorder's
+// per-core timeline with its migration flow arrows) when sim is
+// non-nil. Nil trace with nil sim returns an empty array.
+func (t *Trace) ChromeJSON(sim []byte) ([]byte, error) {
+	var events []json.RawMessage
+	add := func(v any) error {
+		b, err := json.Marshal(v)
+		if err != nil {
+			return err
+		}
+		events = append(events, b)
+		return nil
+	}
+	meta := chromeSpan{Name: "process_name", Phase: "M", PID: jobPID,
+		Args: map[string]any{"name": "job " + t.ID() + " (host time)"}}
+	if t != nil {
+		if err := add(meta); err != nil {
+			return nil, err
+		}
+		for _, tn := range t.tidNameList() {
+			if err := add(chromeSpan{Name: "thread_name", Phase: "M", PID: jobPID, TID: tn.tid,
+				Args: map[string]any{"name": tn.name}}); err != nil {
+				return nil, err
+			}
+		}
+		for _, sp := range t.Spans() {
+			ev := chromeSpan{
+				Name: sp.Name, Cat: sp.Cat, Phase: "X",
+				TS:  float64(sp.Start) / float64(time.Microsecond),
+				Dur: float64(sp.Dur) / float64(time.Microsecond),
+				PID: jobPID, TID: sp.TID, Args: sp.Args,
+			}
+			if sp.Dur == 0 {
+				ev.Phase, ev.Dur, ev.Scope = "i", 0, "t"
+			}
+			if ev.Args == nil {
+				ev.Args = map[string]any{}
+			}
+			ev.Args["span_id"] = sp.ID
+			if err := add(ev); err != nil {
+				return nil, err
+			}
+		}
+		if d := t.Dropped(); d > 0 {
+			if err := add(chromeSpan{Name: "spans_dropped", Cat: CatJob, Phase: "i",
+				TS: float64(t.since()) / float64(time.Microsecond), PID: jobPID, Scope: "t",
+				Args: map[string]any{"dropped": d}}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if sim != nil {
+		var simEvents []json.RawMessage
+		if err := json.Unmarshal(sim, &simEvents); err != nil {
+			return nil, fmt.Errorf("obs: merging sim trace: %w", err)
+		}
+		if len(simEvents) > 0 {
+			if err := add(chromeSpan{Name: "process_name", Phase: "M", PID: simPID,
+				Args: map[string]any{"name": "sim cores (virtual time)"}}); err != nil {
+				return nil, err
+			}
+		}
+		events = append(events, simEvents...)
+	}
+	if events == nil {
+		events = []json.RawMessage{}
+	}
+	return json.Marshal(events)
+}
+
+// tidName pairs one named thread row for metadata export.
+type tidName struct {
+	tid  int
+	name string
+}
+
+// NameTID labels a thread row for the Chrome export ("thread_name"
+// metadata) — the runner names each scenario's row after its axes.
+func (t *Trace) NameTID(tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.tidNames == nil {
+		t.tidNames = make(map[int]string)
+	}
+	t.tidNames[tid] = name
+	t.mu.Unlock()
+}
+
+func (t *Trace) tidNameList() []tidName {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]tidName, 0, len(t.tidNames))
+	for tid, name := range t.tidNames {
+		out = append(out, tidName{tid: tid, name: name})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].tid < out[b].tid })
+	return out
+}

@@ -1,0 +1,182 @@
+// Package obs is the dependency-free observability spine: structured
+// JSON-lines logging on log/slog and span-based job tracing, both with
+// nil-safe no-op defaults so the simulation hot paths pay nothing when
+// they are disabled.
+//
+// The paper's method is measurement — Eq. 2 isolates background load
+// from runtime instrumentation and the authors diagnose interference
+// with Projections timelines (ref. [14]). This package carries that
+// discipline to the service layer: every job gets a trace ID, every
+// interesting interval (queue wait, cache lookup, scenario execution,
+// shard barrier stalls, LB rounds, retransmit bursts) becomes a span,
+// and spans breaching configurable thresholds are annotated as WARN log
+// lines carrying the trace/span IDs, turning a Fig. 6-style network tax
+// into a greppable signal.
+//
+// Both Logger and Trace follow the internal/metrics convention: every
+// method is safe on a nil receiver, and nil is the disabled state the
+// binaries wire unconditionally.
+package obs
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync"
+)
+
+// ringCap bounds the in-memory log ring served at /api/v1/logs.
+const ringCap = 256
+
+// ParseLevel maps the -log flag's spelling to a slog level.
+func ParseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(s) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	}
+	return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn or error)", s)
+}
+
+// sink receives the handler's formatted records. The stdlib slog
+// handlers serialize one record into one Write under their own mutex,
+// so each Write here is exactly one log line; the sink tees it to the
+// destination writer, the ring, and the notify hook (SSE).
+type sink struct {
+	dst io.Writer
+
+	mu     sync.Mutex
+	ring   [][]byte
+	next   int
+	notify func(line []byte)
+}
+
+func (s *sink) Write(p []byte) (int, error) {
+	line := bytes.TrimRight(p, "\n")
+	cp := make([]byte, len(line))
+	copy(cp, line)
+	s.mu.Lock()
+	if len(s.ring) < ringCap {
+		s.ring = append(s.ring, cp)
+	} else {
+		s.ring[s.next] = cp
+		s.next = (s.next + 1) % ringCap
+	}
+	fn := s.notify
+	s.mu.Unlock()
+	if fn != nil {
+		fn(cp)
+	}
+	if s.dst != nil {
+		return s.dst.Write(p)
+	}
+	return len(p), nil
+}
+
+// recent returns the ring contents oldest-first.
+func (s *sink) recent() [][]byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([][]byte, 0, len(s.ring))
+	out = append(out, s.ring[s.next:]...)
+	out = append(out, s.ring[:s.next]...)
+	return out
+}
+
+// Logger is a leveled structured logger. The zero value for callers is
+// a nil pointer: every method no-ops, Enabled reports false, and hot
+// paths guarded by it stay allocation-free.
+type Logger struct {
+	sl *slog.Logger
+	s  *sink
+}
+
+// New builds a logger writing one record per line to w (JSON when
+// format is "json" or empty, slog text otherwise) at the given minimum
+// level, keeping the last records in a ring for /api/v1/logs.
+func New(w io.Writer, level slog.Level, format string) *Logger {
+	s := &sink{dst: w}
+	opts := &slog.HandlerOptions{Level: level}
+	var h slog.Handler
+	if format == "text" {
+		h = slog.NewTextHandler(s, opts)
+	} else {
+		h = slog.NewJSONHandler(s, opts)
+	}
+	return &Logger{sl: slog.New(h), s: s}
+}
+
+// Enabled reports whether a record at level would be emitted. False on
+// a nil logger — the guard hot paths use before building attributes.
+func (l *Logger) Enabled(level slog.Level) bool {
+	if l == nil {
+		return false
+	}
+	return l.sl.Enabled(context.Background(), level)
+}
+
+// With returns a logger that includes args in every record. Nil in, nil
+// out, so call sites can derive unconditionally.
+func (l *Logger) With(args ...any) *Logger {
+	if l == nil {
+		return nil
+	}
+	return &Logger{sl: l.sl.With(args...), s: l.s}
+}
+
+// Debug logs at LevelDebug. No-op on nil.
+func (l *Logger) Debug(msg string, args ...any) {
+	if l != nil {
+		l.sl.Debug(msg, args...)
+	}
+}
+
+// Info logs at LevelInfo. No-op on nil.
+func (l *Logger) Info(msg string, args ...any) {
+	if l != nil {
+		l.sl.Info(msg, args...)
+	}
+}
+
+// Warn logs at LevelWarn. No-op on nil.
+func (l *Logger) Warn(msg string, args ...any) {
+	if l != nil {
+		l.sl.Warn(msg, args...)
+	}
+}
+
+// Error logs at LevelError. No-op on nil.
+func (l *Logger) Error(msg string, args ...any) {
+	if l != nil {
+		l.sl.Error(msg, args...)
+	}
+}
+
+// Recent returns the ring buffer's records oldest-first, each one
+// formatted log line without its trailing newline. Nil on a nil logger.
+func (l *Logger) Recent() [][]byte {
+	if l == nil {
+		return nil
+	}
+	return l.s.recent()
+}
+
+// SetNotify installs a hook called with every formatted record (the
+// telemetry server points it at its SSE broadcast). Nil clears it;
+// no-op on a nil logger.
+func (l *Logger) SetNotify(fn func(line []byte)) {
+	if l == nil {
+		return
+	}
+	l.s.mu.Lock()
+	l.s.notify = fn
+	l.s.mu.Unlock()
+}

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"cloudlb/internal/metrics"
+	"cloudlb/internal/obs"
 	"cloudlb/internal/service"
 	"cloudlb/internal/service/store"
 	"cloudlb/internal/telemetry"
@@ -47,12 +48,20 @@ type Flags struct {
 	// the telemetry server, turning the binary into a result-caching
 	// evaluation server for the duration of the run.
 	Store string
+	// Log selects the minimum structured-log level written to stderr as
+	// JSON lines (debug, info, warn, error). Empty disables logging
+	// entirely — the nil logger keeps every instrumented path free.
+	Log string
+	// LogFormat selects the stderr log encoding: "json" (the default,
+	// one JSON object per line) or "text" (slog's logfmt-style handler).
+	LogFormat string
 
 	reg     *metrics.Registry
 	tl      *metrics.LBTimeline
 	tracker *telemetry.RunTracker
 	srv     *telemetry.Server
 	svc     *service.Service
+	log     *obs.Logger
 }
 
 // RegisterFlags installs the shared observability flags on fs and
@@ -65,7 +74,27 @@ func RegisterFlags(fs *flag.FlagSet) *Flags {
 	fs.StringVar(&f.Serve, "serve", "", `serve live telemetry over HTTP on this address for the duration of the run (e.g. "127.0.0.1:8080", ":0" picks a port)`)
 	fs.DurationVar(&f.ServeWait, "serve-wait", 0, "keep the -serve endpoints up this long after the run completes so a final scrape isn't lost")
 	fs.StringVar(&f.Store, "store", "", `with -serve: artifact-store directory backing the /api/v1/jobs scenario service (created if missing; results are cached by canonical Spec hash)`)
+	fs.StringVar(&f.Log, "log", "", `write structured logs at this minimum level to stderr (debug, info, warn, error); empty disables logging`)
+	fs.StringVar(&f.LogFormat, "logfmt", "json", `structured-log encoding for -log: "json" (one object per line) or "text"`)
 	return f
+}
+
+// Logger returns the structured logger implied by -log: nil when the
+// flag is unset (the nil logger is the zero-cost disabled state
+// throughout the codebase), one shared stderr logger otherwise. Call
+// after flag parsing; every call returns the same logger.
+func (f *Flags) Logger() (*obs.Logger, error) {
+	if f.Log == "" {
+		return nil, nil
+	}
+	if f.log == nil {
+		level, err := obs.ParseLevel(f.Log)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: -log: %w", err)
+		}
+		f.log = obs.New(os.Stderr, level, f.LogFormat)
+	}
+	return f.log, nil
 }
 
 // Registry returns the registry implied by the flags: nil when neither
@@ -121,8 +150,14 @@ func (f *Flags) Start() (stop func() error, err error) {
 		_ = stopProfiles()
 		return nil, fmt.Errorf("profiling: -store requires -serve (the job API mounts on the telemetry server)")
 	}
+	log, err := f.Logger()
+	if err != nil {
+		_ = stopProfiles()
+		return nil, err
+	}
 	if f.Serve != "" {
 		f.srv = telemetry.NewServer(f.Registry(), f.Timeline(), f.Tracker())
+		f.srv.SetLog(log)
 		if f.Store != "" {
 			st, err := store.Open(f.Store)
 			if err != nil {
@@ -133,12 +168,14 @@ func (f *Flags) Start() (stop func() error, err error) {
 				Store:   st,
 				Metrics: f.Registry(),
 				Notify:  f.srv.Broadcast,
+				Log:     log,
 			})
 			if err != nil {
 				_ = stopProfiles()
 				return nil, fmt.Errorf("profiling: %w", err)
 			}
 			f.srv.Handle(f.svc.Register)
+			f.srv.AddReadiness("service", f.svc.Ready)
 		}
 		addr, err := f.srv.Start(f.Serve)
 		if err != nil {

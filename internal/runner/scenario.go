@@ -2,12 +2,14 @@ package runner
 
 import (
 	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"time"
 
 	"cloudlb/internal/experiment"
 	"cloudlb/internal/metrics"
+	"cloudlb/internal/obs"
 )
 
 // ScenarioStats is one scenario's execution record: where it sat in the
@@ -97,16 +99,32 @@ func (p *Pool) RunBatch(ctx context.Context, batch []experiment.Scenario) ([]exp
 	if prog != nil {
 		prog.BatchQueued(len(batch))
 	}
+	// A job trace on the context gives every scenario its own span row:
+	// pool queue wait and execution, named after the scenario's axes so
+	// the Chrome waterfall reads without cross-referencing rows.json.
+	tr := obs.FromContext(ctx)
 	start := time.Now()
 	results, err := Map(ctx, p.Workers, batch, func(_ context.Context, i int, s experiment.Scenario) (experiment.Result, error) {
 		t0 := time.Now()
-		mQueue.Observe(t0.Sub(start).Seconds())
+		queueWait := t0.Sub(start)
+		mQueue.Observe(queueWait.Seconds())
+		if tr != nil {
+			if s.Obs == nil {
+				s.Obs = tr
+				s.ObsTID = tr.NextTID()
+			}
+			tr.NameTID(s.ObsTID, fmt.Sprintf("[%d] %s cores=%d %s seed=%d",
+				i, s.App, s.Cores, s.Strategy, s.Seed))
+			tr.AddNow(obs.CatScenario, "queue-wait", s.ObsTID, queueWait)
+		}
+		runSpan := s.Obs.Start(obs.CatScenario, "run", s.ObsTID)
 		if prog != nil {
 			prog.ScenarioStarted(i)
 		}
 		mInflight.Add(1)
 		r := experiment.Run(s)
 		mInflight.Add(-1)
+		runSpan.End("events", r.Events, "migrations", r.Migrations, "lb_steps", r.LBSteps)
 		wall := time.Since(t0)
 		stats.Scenarios[i] = ScenarioStats{Index: i, Wall: wall, Events: r.Events}
 		mScenarios.Inc()

@@ -112,7 +112,12 @@ func (r Request) canonicalJSON() []byte {
 
 // manifest is the stored object a cache key resolves to: the artifact
 // name → object hash map of one computed job. It carries no timestamps
-// or job IDs — identical requests produce identical manifests.
+// or job IDs. Every artifact except trace_spans.json is a pure function
+// of the request, so identical requests recompute to identical content
+// addresses; trace_spans.json records host wall times and is the one
+// deliberate exception (a cache hit still returns the original's bytes,
+// so resubmissions see stable hashes — only an index wipe plus
+// recomputation produces a fresh span set).
 type manifest struct {
 	V         int               `json:"v"`
 	Method    string            `json:"method"`
@@ -201,9 +206,8 @@ func execute(ctx context.Context, req Request, reg *metrics.Registry, workers in
 		out.rows = rows
 		out.tables["table.csv"] = t
 		if rec != nil {
-			var buf bytes.Buffer
-			if err := rec.WriteChromeTrace(&buf); err == nil {
-				out.trace = buf.Bytes()
+			if b, err := rec.ChromeTraceJSON(); err == nil {
+				out.trace = b
 			}
 		}
 	case "evaluate":

@@ -24,11 +24,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 	"sync"
 	"time"
 
 	"cloudlb/internal/metrics"
+	"cloudlb/internal/obs"
 	"cloudlb/internal/service/store"
 )
 
@@ -50,6 +52,11 @@ type Config struct {
 	// Notify, when non-nil, receives job lifecycle events ("job", view) —
 	// the telemetry server points it at its SSE broadcast.
 	Notify func(event string, v any)
+	// Log, when non-nil, receives the service's structured log records
+	// (job lifecycle, cache hits, anomaly warnings), each carrying the
+	// job's trace ID. Nil disables logging at zero cost — every job still
+	// gets a trace and its trace_spans.json artifact.
+	Log *obs.Logger
 }
 
 // State is a job's lifecycle position.
@@ -90,6 +97,13 @@ type JobView struct {
 	Error     string              `json:"error,omitempty"`
 	Progress  Progress            `json:"progress"`
 	Artifacts map[string]Artifact `json:"artifacts,omitempty"`
+	// TraceID names the job's trace; log records carrying the same
+	// trace_id belong to this job, and the trace_spans.json artifact holds
+	// the full span set.
+	TraceID string `json:"trace_id,omitempty"`
+	// Trace is the waterfall summary: per span kind, how often it fired
+	// and how much host wall time it cost. Populated once the job is done.
+	Trace []obs.SummaryRow `json:"trace,omitempty"`
 }
 
 type job struct {
@@ -103,6 +117,12 @@ type job struct {
 	progress  Progress
 	artifacts map[string]Artifact
 	done      chan struct{}
+
+	// tr is the job's trace; set once at submit, never mutated after, so
+	// reads need no lock (the Trace itself is concurrency-safe).
+	tr *obs.Trace
+	// enqueuedAt feeds the queue-wait span (submit to drain pickup).
+	enqueuedAt time.Time
 }
 
 func (j *job) view() JobView {
@@ -111,6 +131,10 @@ func (j *job) view() JobView {
 	v := JobView{
 		ID: j.id, Method: j.req.Method, SpecHash: j.req.Spec.Hash(),
 		State: j.state, Cached: j.cached, Error: j.err, Progress: j.progress,
+		TraceID: j.tr.ID(),
+	}
+	if j.state == StateDone || j.state == StateFailed {
+		v.Trace = j.tr.Summary()
 	}
 	if len(j.artifacts) > 0 {
 		v.Artifacts = make(map[string]Artifact, len(j.artifacts))
@@ -219,10 +243,18 @@ func (s *Service) Submit(req Request) (JobView, error) {
 		req:  req,
 		done: make(chan struct{}),
 	}
+	j.tr = obs.NewTrace(j.id, s.cfg.Log)
 	s.jobs[j.id] = j
 	s.mu.Unlock()
 
-	if arts, ok := s.lookupCache(req); ok {
+	lookup := j.tr.Start(obs.CatCache, "cache-lookup", 0)
+	arts, manHash, hit := s.lookupCache(req)
+	lookup.End("key", req.CacheKey(), "hit", hit)
+	if hit {
+		j.tr.Instant(obs.CatCache, "cache-hit", 0, "manifest", manHash)
+		s.cfg.Log.Info("cache hit",
+			"trace_id", j.tr.ID(), "job", j.id, "method", req.Method,
+			"spec_hash", req.Spec.Hash(), "manifest", manHash)
 		j.mu.Lock()
 		j.state = StateDone
 		j.cached = true
@@ -234,6 +266,7 @@ func (s *Service) Submit(req Request) (JobView, error) {
 	}
 
 	j.state = StateQueued
+	j.enqueuedAt = time.Now()
 	select {
 	case s.queue <- j:
 	default:
@@ -242,8 +275,13 @@ func (s *Service) Submit(req Request) (JobView, error) {
 		j.err = "queue full"
 		j.mu.Unlock()
 		close(j.done)
+		s.cfg.Log.Warn("job rejected: queue full",
+			"trace_id", j.tr.ID(), "job", j.id, "method", req.Method)
 		return j.view(), ErrQueueFull
 	}
+	s.cfg.Log.Info("job queued",
+		"trace_id", j.tr.ID(), "job", j.id, "method", req.Method,
+		"spec_hash", req.Spec.Hash(), "queue_depth", len(s.queue))
 	s.notify(j)
 	return j.view(), nil
 }
@@ -326,10 +364,15 @@ func (s *Service) drain() {
 // (bad spec corners that pass validation) fails the job, never the
 // process.
 func (s *Service) runJob(j *job) {
+	j.tr.AddNow(obs.CatJob, "queue-wait", 0, time.Since(j.enqueuedAt))
 	j.mu.Lock()
 	j.state = StateRunning
 	j.mu.Unlock()
 	s.notify(j)
+	s.cfg.Log.Info("job started",
+		"trace_id", j.tr.ID(), "job", j.id, "method", j.req.Method,
+		"spec_hash", j.req.Spec.Hash())
+	t0 := time.Now()
 
 	arts, err := func() (arts map[string]Artifact, err error) {
 		defer func() {
@@ -338,7 +381,9 @@ func (s *Service) runJob(j *job) {
 			}
 		}()
 		reg := metrics.NewRegistry()
-		out, err := execute(s.ctx, j.req, reg, s.cfg.Workers, jobProgress{s: s, j: j})
+		execSpan := j.tr.Start(obs.CatJob, "execute", 0)
+		out, err := execute(obs.NewContext(s.ctx, j.tr), j.req, reg, s.cfg.Workers, jobProgress{s: s, j: j})
+		execSpan.End("method", j.req.Method, "err", err != nil)
 		if err != nil {
 			return nil, err
 		}
@@ -355,10 +400,11 @@ func (s *Service) runJob(j *job) {
 				}
 			}
 		}
-		return s.storeArtifacts(j.req, out, reg)
+		return s.storeArtifacts(j.req, out, reg, j.tr)
 	}()
 
 	j.mu.Lock()
+	events := j.progress.Events
 	if err != nil {
 		j.state = StateFailed
 		j.err = err.Error()
@@ -367,13 +413,38 @@ func (s *Service) runJob(j *job) {
 		j.artifacts = arts
 	}
 	j.mu.Unlock()
+	if err != nil {
+		s.cfg.Log.Error("job failed",
+			"trace_id", j.tr.ID(), "job", j.id, "method", j.req.Method,
+			"wall_s", time.Since(t0).Seconds(), "error", err.Error())
+	} else {
+		s.cfg.Log.Info("job done",
+			"trace_id", j.tr.ID(), "job", j.id, "method", j.req.Method,
+			"wall_s", time.Since(t0).Seconds(), "events", events,
+			"spans", len(j.tr.Spans()), "spans_dropped", j.tr.Dropped())
+	}
 	close(j.done)
 	s.notify(j)
 }
 
+// Ready is the service's readiness probe: the artifact store must be
+// reachable on disk and the submit queue below capacity. The telemetry
+// server's /readyz aggregates it.
+func (s *Service) Ready() error {
+	if fi, err := os.Stat(s.cfg.Store.Root()); err != nil || !fi.IsDir() {
+		return fmt.Errorf("artifact store root %q unavailable", s.cfg.Store.Root())
+	}
+	if len(s.queue) >= cap(s.queue) {
+		return fmt.Errorf("job queue full (%d/%d)", len(s.queue), cap(s.queue))
+	}
+	return nil
+}
+
 // storeArtifacts writes a computed job's outputs into the store and
-// links the cache key at the resulting manifest.
-func (s *Service) storeArtifacts(req Request, out *computed, reg *metrics.Registry) (map[string]Artifact, error) {
+// links the cache key at the resulting manifest. The job trace is
+// serialized last (as trace_spans.json) so it covers every span the run
+// recorded; tr may be nil in tests.
+func (s *Service) storeArtifacts(req Request, out *computed, reg *metrics.Registry, tr *obs.Trace) (map[string]Artifact, error) {
 	hashes := map[string]string{}
 
 	put := func(name string, b []byte) error {
@@ -413,6 +484,15 @@ func (s *Service) storeArtifacts(req Request, out *computed, reg *metrics.Regist
 	}
 	if out.trace != nil {
 		if err := put("trace.json", out.trace); err != nil {
+			return nil, err
+		}
+	}
+	if tr != nil {
+		spans, err := tr.ChromeJSON(out.trace)
+		if err != nil {
+			return nil, fmt.Errorf("artifact trace_spans.json: %w", err)
+		}
+		if err := put("trace_spans.json", spans); err != nil {
 			return nil, err
 		}
 	}
@@ -464,25 +544,26 @@ func deterministicMetricsJSON(reg *metrics.Registry) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-// lookupCache resolves a request's cache key to its stored artifacts.
-func (s *Service) lookupCache(req Request) (map[string]Artifact, bool) {
+// lookupCache resolves a request's cache key to its stored artifacts and
+// the manifest hash they hang off.
+func (s *Service) lookupCache(req Request) (map[string]Artifact, string, bool) {
 	manHash, err := s.cfg.Store.Resolve(req.CacheKey())
 	if err != nil {
-		return nil, false
+		return nil, "", false
 	}
 	b, err := s.cfg.Store.Get(manHash)
 	if err != nil {
-		return nil, false
+		return nil, "", false
 	}
 	var man manifest
 	if err := json.Unmarshal(b, &man); err != nil {
-		return nil, false
+		return nil, "", false
 	}
 	arts, err := s.describe(man.Artifacts)
 	if err != nil {
-		return nil, false // pruned objects degrade to recomputation
+		return nil, "", false // pruned objects degrade to recomputation
 	}
-	return arts, true
+	return arts, manHash, true
 }
 
 // describe turns a name→hash map into full Artifact records with sizes

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"cloudlb/internal/metrics"
+	"cloudlb/internal/obs"
 )
 
 // Shards runs one Engine per shard and synchronizes them in conservative
@@ -88,6 +89,10 @@ type Shards struct {
 	lastExec     []uint64
 	finishedAt   []time.Time
 	timed        bool
+
+	// Job tracing (nil-safe; see SetObs).
+	obs    *obs.Trace
+	obsTID int
 }
 
 type crossEntry struct {
@@ -251,6 +256,24 @@ func (s *Shards) SetMetrics(reg *metrics.Registry) {
 		s.shardWindows[i] = reg.Counter("sim_shard_windows_total", "Conservative windows this shard actively executed.", lbl)
 		s.shardWait[i] = reg.FloatCounter("sim_shard_barrier_wait_seconds_total", "Wall-clock time this shard spent waiting for window barriers.", lbl)
 	}
+}
+
+// SetObs attaches a job trace: each parallel window records a barrier-stall
+// span per shard that finished early enough to matter (>= 1ms of host time
+// spent waiting on the slowest shard), on the scenario's trace row. Nil
+// receiver and nil trace are no-ops, so the call can be wired
+// unconditionally.
+func (s *Shards) SetObs(tr *obs.Trace, tid int) {
+	if s == nil || tr == nil {
+		return
+	}
+	s.obs = tr
+	s.obsTID = tid
+	// Stall spans need per-shard finish times even when metrics are off.
+	if s.finishedAt == nil {
+		s.finishedAt = make([]time.Time, len(s.engines))
+	}
+	s.timed = true
 }
 
 // OnBarrier registers fn to run on the coordinator at every window barrier
@@ -577,8 +600,20 @@ func (s *Shards) window(edge Time) error {
 	s.parallel = false
 	if s.timed {
 		for i := range s.engines {
-			if s.inWindow[i] {
-				s.shardWait[i].Add(lastDone.Sub(s.finishedAt[i]).Seconds())
+			if !s.inWindow[i] {
+				continue
+			}
+			stall := lastDone.Sub(s.finishedAt[i])
+			if s.shardWait != nil {
+				s.shardWait[i].Add(stall.Seconds())
+			}
+			// Only material stalls become spans: every window stalls all but
+			// the slowest shard by a few microseconds, and recording those
+			// would exhaust the span budget without telling the reader
+			// anything. 1ms of host time is already an outlier barrier.
+			if s.obs != nil && stall >= time.Millisecond {
+				s.obs.AddNow(obs.CatBarrier, "window-stall", s.obsTID, stall,
+					"shard", i, "virtual_t", float64(edge))
 			}
 		}
 	}

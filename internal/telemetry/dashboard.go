@@ -25,6 +25,9 @@ const dashboardHTML = `<!DOCTYPE html>
   .pe { display: inline-block; height: .8rem; background: #4a6fa5; margin-right: 1px; vertical-align: middle; }
   .pe.hot { background: #a54a4a; }
   #status { color: #888; font-size: .8rem; }
+  #log { background: #1c1c1c; border: 1px solid #333; border-radius: 6px; padding: .6rem .8rem;
+         font-size: .75rem; max-height: 14rem; overflow-y: auto; white-space: pre-wrap; word-break: break-all; }
+  #log .warn { color: #e0b050; } #log .err { color: #e06050; }
 </style>
 </head>
 <body>
@@ -43,7 +46,9 @@ const dashboardHTML = `<!DOCTYPE html>
 <table id="steps"><thead><tr>
 <th>step</th><th>time</th><th>window</th><th>planned</th><th>applied</th><th>strategy&nbsp;s</th><th>max&nbsp;load&nbsp;before</th><th>max&nbsp;load&nbsp;after</th>
 </tr></thead><tbody></tbody></table>
-<p><a href="/metrics">/metrics</a> · <a href="/api/v1/run">/api/v1/run</a> · <a href="/api/v1/lbsteps">/api/v1/lbsteps</a> · <a href="/api/v1/jobs">/api/v1/jobs</a> · <a href="/debug/pprof/">/debug/pprof/</a></p>
+<h2>log — structured records (enable with -log)</h2>
+<div id="log">no log records yet</div>
+<p><a href="/metrics">/metrics</a> · <a href="/api/v1/run">/api/v1/run</a> · <a href="/api/v1/lbsteps">/api/v1/lbsteps</a> · <a href="/api/v1/jobs">/api/v1/jobs</a> · <a href="/api/v1/logs">/api/v1/logs</a> · <a href="/debug/pprof/">/debug/pprof/</a></p>
 <script>
 "use strict";
 var seen = 0;
@@ -91,15 +96,34 @@ function pollSteps() {
 function pollRun() {
   fetch("/api/v1/run").then(function (r) { return r.json(); }).then(renderRun).catch(function () {});
 }
+var logCount = 0;
+function renderLog(line) {
+  var div = document.getElementById("log");
+  if (logCount === 0) div.textContent = "";
+  var rec = {};
+  try { rec = JSON.parse(line); } catch (e) {}
+  var el = document.createElement("div");
+  if (rec.level === "WARN") el.className = "warn";
+  if (rec.level === "ERROR") el.className = "err";
+  el.textContent = line;
+  div.appendChild(el);
+  while (div.children.length > 50) div.removeChild(div.firstChild);
+  div.scrollTop = div.scrollHeight;
+  logCount++;
+}
 var es = new EventSource("/events");
 es.addEventListener("progress", function (e) { renderRun(JSON.parse(e.data)); });
 es.addEventListener("done", function (e) { renderRun(JSON.parse(e.data)); });
+es.addEventListener("log", function (e) { renderLog(e.data); });
 es.addEventListener("lbstep", function (e) {
   var ev = JSON.parse(e.data);
   if (ev.index >= seen) { renderStep(ev.step); seen = ev.index + 1; }
 });
 es.onerror = function () { setText("status", "(stream lost — polling)"); };
 pollRun(); pollSteps();
+fetch("/api/v1/logs").then(function (r) { return r.text(); }).then(function (t) {
+  t.split("\n").forEach(function (l) { if (l) renderLog(l); });
+}).catch(function () {});
 setInterval(pollRun, 2000); setInterval(pollSteps, 2000);
 </script>
 </body>

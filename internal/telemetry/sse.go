@@ -3,6 +3,8 @@ package telemetry
 import (
 	"encoding/json"
 	"sync"
+
+	"cloudlb/internal/metrics"
 )
 
 // sseEvent is one marshaled server-sent event: a name and its JSON data
@@ -22,6 +24,9 @@ type hub struct {
 	subs   map[chan sseEvent]struct{}
 	closed chan struct{}
 	done   bool
+	// dropped counts events discarded because a subscriber's buffer was
+	// full — the "slow consumer" signal. Nil-safe (metrics handles are).
+	dropped *metrics.Counter
 }
 
 const sseBuffer = 64
@@ -48,18 +53,28 @@ func (h *hub) subscribe() (ch chan sseEvent, cancel func(), closed <-chan struct
 }
 
 // broadcast marshals v and queues it on every subscriber, dropping the
-// event for subscribers whose buffers are full.
+// event (and counting the drop) for subscribers whose buffers are full.
 func (h *hub) broadcast(name string, v any) {
 	data, err := json.Marshal(v)
 	if err != nil {
 		return
 	}
+	h.broadcastRaw(name, data)
+}
+
+// broadcastRaw queues pre-marshaled JSON on every subscriber — the log
+// sink hands over lines that are already JSON records. A stuck reader
+// loses events rather than stalling the broadcaster: the send never
+// blocks, so simulation and service threads are isolated from slow
+// /events consumers by construction.
+func (h *hub) broadcastRaw(name string, data []byte) {
 	ev := sseEvent{name: name, data: data}
 	h.mu.Lock()
 	for ch := range h.subs {
 		select {
 		case ch <- ev:
 		default:
+			h.dropped.Inc()
 		}
 	}
 	h.mu.Unlock()

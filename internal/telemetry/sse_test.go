@@ -1,0 +1,57 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+
+	"cloudlb/internal/metrics"
+)
+
+// TestBroadcastDropsOnStuckReader is the slow-consumer regression gate:
+// a subscriber that never drains its channel must cost the broadcaster
+// nothing — every send past the buffer is dropped and counted, never
+// blocked on. The broadcast loop runs on the simulation/service side,
+// so one stuck browser tab must not stall a running fleet.
+func TestBroadcastDropsOnStuckReader(t *testing.T) {
+	reg := metrics.NewRegistry()
+	h := newHub()
+	h.dropped = reg.Counter("telemetry_sse_dropped_total", "drops")
+
+	ch, cancel, _ := h.subscribe() // stuck: nothing ever reads ch
+	defer cancel()
+
+	const extra = 25
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < sseBuffer+extra; i++ {
+			h.broadcast("progress", map[string]int{"i": i})
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("broadcast blocked on a stuck subscriber")
+	}
+
+	if got := h.dropped.Value(); got != extra {
+		t.Fatalf("dropped counter = %d, want %d", got, extra)
+	}
+	if len(ch) != sseBuffer {
+		t.Fatalf("subscriber buffer holds %d, want full %d", len(ch), sseBuffer)
+	}
+
+	// A healthy subscriber added afterwards still receives events: drops
+	// are per-subscriber, not hub-wide poisoning.
+	ch2, cancel2, _ := h.subscribe()
+	defer cancel2()
+	h.broadcast("progress", map[string]int{"i": -1})
+	select {
+	case <-ch2:
+	default:
+		t.Fatal("healthy subscriber starved after drops elsewhere")
+	}
+	if got := h.dropped.Value(); got != extra+1 {
+		t.Fatalf("dropped counter = %d after one more full-buffer drop, want %d", got, extra+1)
+	}
+}

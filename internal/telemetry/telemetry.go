@@ -12,11 +12,13 @@
 //
 //	GET /                  dashboard (no external assets)
 //	GET /metrics           Prometheus 0.0.4 text, gathered live
+//	GET /healthz           liveness: 200 while the process serves
+//	GET /readyz            readiness: 200 when every registered probe passes
 //	GET /api/v1/run        JSON fleet progress (RunState)
 //	GET /api/v1/lbsteps    JSON LB-step timeline (?since=N for deltas)
 //	GET /api/v1/metrics    alias of /metrics under the versioned surface
-//	GET /events            SSE: progress, lbstep, job, done events
-//	GET /debug/pprof/      net/http/pprof
+//	GET /api/v1/logs       recent structured log records (ndjson ring)
+//	GET /events            SSE: progress, lbstep, job, log, done events
 //
 // The pre-v1 spellings /api/run and /api/lbsteps answer with permanent
 // (308) redirects to their /api/v1 homes. The scenario service
@@ -37,9 +39,11 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"strconv"
+	"sync"
 	"time"
 
 	"cloudlb/internal/metrics"
+	"cloudlb/internal/obs"
 )
 
 // Server is the embedded observability server. Construct with NewServer;
@@ -53,6 +57,11 @@ type Server struct {
 	mux     *http.ServeMux
 	srv     *http.Server
 	ln      net.Listener
+	log     *obs.Logger
+
+	// readiness probes behind /readyz, keyed by check name.
+	readyMu sync.Mutex
+	ready   map[string]func() error
 }
 
 // lbStepEvent is the SSE payload for one appended LB step.
@@ -65,16 +74,25 @@ type lbStepEvent struct {
 // tracker, and subscribes to both live sources: every tracker state
 // change and every timeline append is pushed to /events subscribers.
 func NewServer(reg *metrics.Registry, tl *metrics.LBTimeline, tracker *RunTracker) *Server {
-	s := &Server{reg: reg, tl: tl, tracker: tracker, hub: newHub(), mux: http.NewServeMux()}
+	s := &Server{reg: reg, tl: tl, tracker: tracker, hub: newHub(), mux: http.NewServeMux(),
+		ready: map[string]func() error{}}
+	// The live registry doubles as the process health surface: runtime
+	// series plus the SSE slow-consumer drop counter.
+	metrics.RegisterRuntimeCollector(reg)
+	s.hub.dropped = reg.Counter("telemetry_sse_dropped_total",
+		"SSE events dropped because a subscriber's send queue was full.")
 	tracker.setNotify(func() { s.hub.broadcast("progress", tracker.State()) })
 	tl.SetNotify(func(index int, step metrics.LBStep) {
 		s.hub.broadcast("lbstep", lbStepEvent{Index: index, Step: step})
 	})
 	s.mux.HandleFunc("GET /{$}", s.handleDashboard)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /api/v1/run", s.handleRun)
 	s.mux.HandleFunc("GET /api/v1/lbsteps", s.handleLBSteps)
 	s.mux.HandleFunc("GET /api/v1/metrics", s.handleMetrics)
+	s.mux.HandleFunc("GET /api/v1/logs", s.handleLogs)
 	s.mux.HandleFunc("GET /events", s.handleEvents)
 	// The pre-v1 paths remain as permanent redirects so existing scrape
 	// configs and dashboards keep working; 308 preserves method and query.
@@ -111,6 +129,22 @@ func (s *Server) Handle(register func(mux *http.ServeMux)) { register(s.mux) }
 // Broadcast pushes a named JSON event to every /events subscriber (the
 // scenario service announces job transitions here).
 func (s *Server) Broadcast(name string, v any) { s.hub.broadcast(name, v) }
+
+// SetLog attaches the process logger: its ring serves GET /api/v1/logs
+// and every record is forwarded to /events subscribers as a "log"
+// event. A nil logger leaves both surfaces empty.
+func (s *Server) SetLog(l *obs.Logger) {
+	s.log = l
+	l.SetNotify(func(line []byte) { s.hub.broadcastRaw("log", line) })
+}
+
+// AddReadiness registers a named /readyz probe; the endpoint answers
+// 503 while any probe errors. Probes must be cheap and non-blocking.
+func (s *Server) AddReadiness(name string, fn func() error) {
+	s.readyMu.Lock()
+	s.ready[name] = fn
+	s.readyMu.Unlock()
+}
 
 // Start listens on addr (":0" picks a free port) and serves in the
 // background. It returns the bound address for the caller to print.
@@ -161,6 +195,58 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) handleRun(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, s.tracker.State())
+}
+
+// handleHealthz is pure liveness: if this handler runs, the process and
+// its listener are alive.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = io.WriteString(w, "ok\n")
+}
+
+// handleReadyz runs every registered probe and reports per-check
+// results; any failure turns the whole answer 503 so a load balancer
+// stops routing jobs here while (say) the queue is saturated.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	s.readyMu.Lock()
+	probes := make(map[string]func() error, len(s.ready))
+	for name, fn := range s.ready {
+		probes[name] = fn
+	}
+	s.readyMu.Unlock()
+	checks := make(map[string]string, len(probes))
+	status := http.StatusOK
+	for name, fn := range probes {
+		if err := fn(); err != nil {
+			checks[name] = err.Error()
+			status = http.StatusServiceUnavailable
+		} else {
+			checks[name] = "ok"
+		}
+	}
+	doc := struct {
+		Status string            `json:"status"`
+		Checks map[string]string `json:"checks,omitempty"`
+	}{Status: "ok", Checks: checks}
+	if status != http.StatusOK {
+		doc.Status = "unavailable"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(doc)
+}
+
+// handleLogs streams the logger's ring as ndjson, oldest first — the
+// same records the process wrote to stderr, one JSON object per line.
+func (s *Server) handleLogs(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	for _, line := range s.log.Recent() {
+		_, _ = w.Write(line)
+		_, _ = io.WriteString(w, "\n")
+	}
 }
 
 func (s *Server) handleLBSteps(w http.ResponseWriter, r *http.Request) {

@@ -4,7 +4,9 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -14,6 +16,7 @@ import (
 
 	"cloudlb/internal/experiment"
 	"cloudlb/internal/metrics"
+	"cloudlb/internal/obs"
 	"cloudlb/internal/telemetry"
 )
 
@@ -397,4 +400,120 @@ func TestHandleAndBroadcast(t *testing.T) {
 	srv.Broadcast("job", map[string]string{"id": "job-1", "state": "done"})
 	waitFor("event: job")
 	waitFor(`"job-1"`)
+}
+
+// TestHealthAndReadiness covers the liveness/readiness split: /healthz
+// is unconditionally 200 while serving; /readyz reflects registered
+// probes, flipping 503 when any fails and naming the failed check.
+func TestHealthAndReadiness(t *testing.T) {
+	srv, _, _, _, ts := newTestServer(t)
+	if code, body, _ := get(t, ts.URL+"/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("/healthz: %d %q", code, body)
+	}
+	// No probes registered: ready by default.
+	if code, _, _ := get(t, ts.URL+"/readyz"); code != http.StatusOK {
+		t.Fatalf("/readyz with no probes: %d, want 200", code)
+	}
+	healthy := true
+	srv.AddReadiness("queue", func() error {
+		if healthy {
+			return nil
+		}
+		return errors.New("queue full")
+	})
+	srv.AddReadiness("store", func() error { return nil })
+	code, body, hdr := get(t, ts.URL+"/readyz")
+	if code != http.StatusOK {
+		t.Fatalf("/readyz healthy: %d\n%s", code, body)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	if !strings.Contains(body, `"queue": "ok"`) || !strings.Contains(body, `"store": "ok"`) {
+		t.Fatalf("checks missing:\n%s", body)
+	}
+	healthy = false
+	code, body, _ = get(t, ts.URL+"/readyz")
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz failing probe: %d, want 503", code)
+	}
+	if !strings.Contains(body, `"queue": "queue full"`) || !strings.Contains(body, `"unavailable"`) {
+		t.Fatalf("failure not named:\n%s", body)
+	}
+}
+
+// TestLogsEndpointAndSSE wires a logger into the server and checks the
+// ring lands on /api/v1/logs as ndjson and that each record reaches
+// /events subscribers as a "log" event.
+func TestLogsEndpointAndSSE(t *testing.T) {
+	srv, _, _, _, ts := newTestServer(t)
+	// Empty until a logger is attached.
+	if code, body, _ := get(t, ts.URL+"/api/v1/logs"); code != http.StatusOK || body != "" {
+		t.Fatalf("/api/v1/logs without logger: %d %q", code, body)
+	}
+	logger := obs.New(io.Discard, slog.LevelInfo, "json")
+	srv.SetLog(logger)
+
+	resp, err := http.Get(ts.URL + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	br := bufio.NewReader(resp.Body)
+	readSSEEvent(t, br) // initial progress event
+
+	logger.Info("job submitted", "trace_id", "job-1")
+	logger.Warn("span threshold exceeded", "trace_id", "job-1", "span_id", 3)
+
+	name, data := readSSEEvent(t, br)
+	if name != "log" || !strings.Contains(data, `"job submitted"`) {
+		t.Fatalf("first log event: %q %q", name, data)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(data), &rec); err != nil {
+		t.Fatalf("log event not JSON: %v", err)
+	}
+	if rec["trace_id"] != "job-1" {
+		t.Fatalf("log event missing trace_id: %v", rec)
+	}
+	name, _ = readSSEEvent(t, br)
+	if name != "log" {
+		t.Fatalf("second log event name %q", name)
+	}
+
+	code, body, hdr := get(t, ts.URL+"/api/v1/logs")
+	if code != http.StatusOK {
+		t.Fatalf("/api/v1/logs: %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q", ct)
+	}
+	lines := strings.Split(strings.TrimSpace(body), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("ring served %d lines, want 2:\n%s", len(lines), body)
+	}
+	for _, line := range lines {
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("ndjson line invalid: %q: %v", line, err)
+		}
+		if rec["trace_id"] != "job-1" {
+			t.Fatalf("served record missing trace_id: %q", line)
+		}
+	}
+}
+
+// TestRuntimeSeriesOnScrape pins satellite wiring: constructing the
+// server registers the Go runtime collector, so a bare /metrics scrape
+// answers with process health series.
+func TestRuntimeSeriesOnScrape(t *testing.T) {
+	_, _, _, _, ts := newTestServer(t)
+	code, body, _ := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("status %d", code)
+	}
+	for _, series := range []string{"go_goroutines", "go_heap_alloc_bytes", "go_gomaxprocs"} {
+		if !strings.Contains(body, series) {
+			t.Fatalf("/metrics missing %s:\n%s", series, body)
+		}
+	}
 }

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"bytes"
 	"cmp"
 	"encoding/json"
 	"io"
@@ -57,6 +58,17 @@ func (r *Recorder) WriteChromeTrace(w io.Writer) error {
 	events = append(events, flowEvents(segs)...)
 	enc := json.NewEncoder(w)
 	return enc.Encode(events)
+}
+
+// ChromeTraceJSON returns WriteChromeTrace's output as a byte slice —
+// the same bytes, convenient for callers that merge or store the trace
+// rather than stream it.
+func (r *Recorder) ChromeTraceJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
 }
 
 // flowEvents renders chare migrations as flow-event pairs: for every pair

@@ -55,6 +55,7 @@ import (
 
 	"cloudlb/internal/machine"
 	"cloudlb/internal/metrics"
+	"cloudlb/internal/obs"
 	"cloudlb/internal/sim"
 )
 
@@ -322,6 +323,10 @@ type Network struct {
 	metRetransmits *metrics.Counter
 	metLinkBusy    *metrics.FloatCounter
 	busyPublished  float64
+
+	// Job tracing (nil-safe; see SetObs).
+	obs    *obs.Trace
+	obsTID int
 }
 
 // pairState is one (src,dst) core pair's serialization state.
@@ -402,6 +407,19 @@ func (n *Network) SetMetrics(reg *metrics.Registry) {
 		"Retransmissions sent after a drop's timeout expired.")
 	n.metLinkBusy = reg.FloatCounter("xnet_link_busy_seconds",
 		"Virtual seconds node NICs spent serializing inter-node transmissions, retransmitted attempts included.")
+}
+
+// SetObs attaches a job trace: a message whose drop lottery costs at least
+// the trace's retransmit-burst threshold in attempts records an instant
+// event (and, through the trace's anomaly thresholds, a WARN log line).
+// Nil receiver and nil trace are no-ops, so the call can be wired
+// unconditionally; with DropPct 0 the path never fires.
+func (n *Network) SetObs(tr *obs.Trace, tid int) {
+	if n == nil || tr == nil {
+		return
+	}
+	n.obs = tr
+	n.obsTID = tid
 }
 
 // PublishMetrics flushes the NIC busy-time accumulated since the last
@@ -510,12 +528,14 @@ func (n *Network) Send(srcCore, dstCore, bytes int, deliver func()) sim.Time {
 		n.linkBusy[srcNode] += float64(xfer)
 		if n.cfg.DropPct > 0 {
 			rto := sim.Time(n.cfg.RetransmitTimeout)
+			retries := 0
 			for attempt := 1; attempt < n.cfg.MaxAttempts; attempt++ {
 				lost := dropRoll(n.cfg.Seed, srcCore, dstCore, ps.seq) < n.cfg.DropPct
 				ps.seq++
 				if !lost {
 					break
 				}
+				retries++
 				n.drops[srcShard]++
 				n.retransmits[srcShard]++
 				n.metDrops.Inc()
@@ -528,6 +548,11 @@ func (n *Network) Send(srcCore, dstCore, bytes int, deliver func()) sim.Time {
 				start = resend
 				n.nicFree[srcNode] = start + xfer
 				n.linkBusy[srcNode] += float64(xfer)
+			}
+			if n.obs != nil && retries >= n.obs.Thresholds().RetransmitBurst {
+				n.obs.Instant(obs.CatNet, "retransmit-burst", n.obsTID,
+					"retransmits", retries, "src_node", srcNode, "dst_node", dstNode,
+					"virtual_t", float64(now))
 			}
 		}
 		arrival = start + xfer + lat
